@@ -1,0 +1,102 @@
+"""Experiment E4 — the paper's Gantt chart figure.
+
+*"Gantt chart for an execution of the above code for 2 servers and 3
+clients.  Dark portions denote computations, light portions denote
+communications.  Concurrent communications interfere with each other as the
+TCP flows share network links."*
+
+The harness replays the paper's MSG client/server code (30 MFlop / 3.2 MB
+requests, 10.5 MFlop local tasks, 10 KB acks) with 3 clients and 2 servers
+on the hub/switch/router/Internet platform, prints the resulting Gantt rows
+and asserts the figure's qualitative features.
+"""
+
+import pytest
+
+from bench_util import print_table
+from repro.msg import Environment, MSG_task_create
+from repro.platform import make_client_server_lan
+from repro.tracing import GanttChart, Recorder, render_ascii_gantt
+
+PORT_REQUEST = 22
+PORT_ACK = 23
+NUM_CLIENTS = 3
+NUM_SERVERS = 2
+REQUESTS_PER_CLIENT = 3
+
+
+def client(proc, server_name, client_index):
+    for round_idx in range(REQUESTS_PER_CLIENT):
+        remote = MSG_task_create(f"Remote-c{client_index}-r{round_idx}",
+                                 30.0, 3.2)
+        yield proc.put(remote, server_name, PORT_REQUEST)
+        local = MSG_task_create(f"Local-c{client_index}-r{round_idx}",
+                                10.50, 3.2)
+        yield proc.execute(local)
+        yield proc.get(PORT_ACK)
+
+
+def server(proc, expected_requests):
+    for _ in range(expected_requests):
+        task = yield proc.get(PORT_REQUEST)
+        yield proc.execute(task)
+        ack = MSG_task_create("Ack", 0, 0.01)
+        yield proc.put(ack, task.sender.host, PORT_ACK)
+
+
+def simulate():
+    platform = make_client_server_lan(num_clients=NUM_CLIENTS,
+                                      num_servers=NUM_SERVERS)
+    recorder = Recorder()
+    env = Environment(platform, recorder=recorder)
+    requests_per_server = [0] * NUM_SERVERS
+    for c in range(NUM_CLIENTS):
+        requests_per_server[c % NUM_SERVERS] += REQUESTS_PER_CLIENT
+    for s in range(NUM_SERVERS):
+        env.create_process(f"server-{s}", f"server-{s}", server,
+                           requests_per_server[s])
+    for c in range(NUM_CLIENTS):
+        env.create_process(f"client-{c}", f"client-{c}", client,
+                           f"server-{c % NUM_SERVERS}", c)
+    makespan = env.run()
+    return makespan, recorder
+
+
+def test_e4_client_server_gantt_chart(benchmark):
+    makespan, recorder = benchmark(simulate)
+    chart = GanttChart(recorder)
+
+    print("\n=== E4: client/server Gantt chart "
+          "(# = computation, - = communication) ===")
+    print(render_ascii_gantt(chart, width=70))
+    rows = [(name, f"{totals['compute']:.3f}", f"{totals['comm']:.3f}",
+             f"{totals['idle']:.3f}")
+            for name, totals in sorted(chart.summary().items())]
+    print_table("E4: per-host busy/idle seconds",
+                ("host", "compute (dark)", "comm (light)", "idle"), rows)
+    print(f"makespan = {makespan:.2f} s, overlapping communication pairs = "
+          f"{chart.overlapping_comms()}")
+
+    summary = chart.summary()
+    # every client and server appears on the chart
+    assert len(summary) == NUM_CLIENTS + NUM_SERVERS
+    # dark portions: every server computed; every client computed locally
+    assert all(summary[f"server-{s}"]["compute"] > 0
+               for s in range(NUM_SERVERS))
+    assert all(summary[f"client-{c}"]["compute"] > 0
+               for c in range(NUM_CLIENTS))
+    # light portions dominate (the 3.2 MB transfers cross a slow hub link)
+    assert all(totals["comm"] > totals["compute"]
+               for totals in summary.values())
+    # the figure's headline: concurrent communications interfere
+    assert chart.overlapping_comms() > 0
+    # interference check: with a single client (no sharing), each request
+    # round is faster than the average round of the contended run
+    single_platform = make_client_server_lan(num_clients=1, num_servers=1)
+    single_recorder = Recorder()
+    single_env = Environment(single_platform, recorder=single_recorder)
+    single_env.create_process("server-0", "server-0", server,
+                              REQUESTS_PER_CLIENT)
+    single_env.create_process("client-0", "client-0", client, "server-0", 0)
+    single_makespan = single_env.run()
+    assert makespan > single_makespan

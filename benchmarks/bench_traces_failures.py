@@ -1,0 +1,99 @@
+"""Experiment E8 — trace-driven availability variation and transient failures.
+
+The SURF feature panel shows a timeline with *CPU availability*, *Network
+bandwidth* and a *Transient failure* window.  This harness reproduces that
+timeline: a long computation and a long transfer run while an availability
+trace throttles the CPU, a bandwidth trace throttles the link, and a
+transient failure interrupts a host — and verifies the timing consequences.
+"""
+
+import pytest
+
+from bench_util import print_table
+from repro.exceptions import TransferFailureError
+from repro.msg import Environment, Task
+from repro.platform import Platform
+from repro.surf.trace import Trace
+
+
+def build_platform(with_traces: bool) -> Platform:
+    platform = Platform("volatile" if with_traces else "stable")
+    cpu_trace = Trace([(0.0, 1.0), (5.0, 0.5)], period=10.0) if with_traces else None
+    bw_trace = Trace([(0.0, 1.0), (10.0, 0.25)], period=20.0) if with_traces else None
+    platform.add_host("worker", 1e9, availability_trace=cpu_trace)
+    platform.add_host("peer", 1e9)
+    platform.add_host("victim", 1e9,
+                      state_trace=(Trace([(4.0, 0.0), (9.0, 1.0)])
+                                   if with_traces else None))
+    platform.add_link("wire", 1e6, 1e-3, bandwidth_trace=bw_trace)
+    platform.connect("worker", "peer", "wire")
+    platform.add_link("victim-wire", 1e6, 1e-3)
+    platform.connect("victim", "peer", "victim-wire")
+    return platform
+
+
+def simulate(with_traces: bool):
+    env = Environment(build_platform(with_traces))
+    outcome = {}
+
+    def computer(proc):
+        yield proc.execute(20e9)          # 20 s at full speed
+        outcome["compute_end"] = proc.now
+
+    def sender(proc):
+        yield proc.send(Task("bulk", data_size=20e6), "bulk")  # 20 s at 1 MB/s
+        outcome["transfer_end"] = proc.now
+
+    def receiver(proc):
+        yield proc.receive("bulk")
+
+    def doomed(proc):
+        try:
+            yield proc.send(Task("doomed", data_size=50e6), "doomed")
+            outcome["victim_transfer"] = "completed"
+        except TransferFailureError:
+            outcome["victim_transfer"] = ("failed", proc.now)
+
+    def doomed_receiver(proc):
+        try:
+            yield proc.receive("doomed")
+        except TransferFailureError:
+            pass
+
+    env.create_process("computer", "worker", computer)
+    env.create_process("sender", "worker", sender)
+    env.create_process("receiver", "peer", receiver)
+    env.create_process("doomed", "victim", doomed)
+    env.create_process("doomed-recv", "peer", doomed_receiver)
+    env.run()
+    return outcome
+
+
+def test_e8_traces_and_transient_failures(benchmark):
+    stable = simulate(with_traces=False)
+    volatile = benchmark(simulate, True)
+
+    rows = [
+        ("20 Gflop computation", f"{stable['compute_end']:.2f}s",
+         f"{volatile['compute_end']:.2f}s"),
+        ("20 MB transfer", f"{stable['transfer_end']:.2f}s",
+         f"{volatile['transfer_end']:.2f}s"),
+        ("transfer from the failing host", str(stable["victim_transfer"]),
+         str(volatile["victim_transfer"])),
+    ]
+    print_table("E8: effect of availability traces and transient failures",
+                ("activity", "stable platform", "trace-driven platform"),
+                rows)
+
+    # Without traces everything runs at full speed.
+    assert stable["compute_end"] == pytest.approx(20.0, rel=0.01)
+    assert stable["transfer_end"] == pytest.approx(20.0, rel=0.05)
+    assert stable["victim_transfer"] == "completed"
+
+    # CPU availability halves every other 5 s window: ~30% slower overall.
+    assert volatile["compute_end"] > stable["compute_end"] * 1.2
+    # Bandwidth drops to 25% after t=10 s: the transfer takes much longer.
+    assert volatile["transfer_end"] > stable["transfer_end"] * 1.4
+    # The transient failure at t=4 s kills the victim's transfer.
+    assert volatile["victim_transfer"][0] == "failed"
+    assert volatile["victim_transfer"][1] == pytest.approx(4.0, abs=0.01)

@@ -1,0 +1,16 @@
+"""Small shared helpers for the benchmark harnesses."""
+
+
+def print_table(title, headers, rows):
+    """Render a small fixed-width table to stdout (shown with pytest -s)."""
+    if rows:
+        widths = [max(len(str(h)), *(len(str(row[i])) for row in rows))
+                  for i, h in enumerate(headers)]
+    else:
+        widths = [len(str(h)) for h in headers]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

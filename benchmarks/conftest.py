@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper artefact it regenerates
+(`-s` shows them); pytest-benchmark additionally records the wall-clock cost
+of the simulation itself.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def print_table(title, headers, rows):
+    """Render a small fixed-width table to stdout (shown with pytest -s)."""
+    widths = [max(len(str(h)), *(len(str(row[i])) for row in rows))
+              for i, h in enumerate(headers)] if rows else [len(h) for h in headers]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (offline environments without a working editable install), and
+registers the shared fixtures used by both ``tests/`` and ``benchmarks/``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""A peer-to-peer file sharing application on volatile Internet hosts.
+
+The paper's list of target applications ends with *"a peer-to-peer
+file-sharing application running on volatile Internet hosts"*.  This example
+exercises the SURF features that make such a study possible:
+
+* trace-driven CPU availability ("performance variations due to external
+  load"),
+* trace-driven transient host failures,
+* timeouts and failure handling in the MSG API.
+
+A tracker process knows which peers hold the file; downloaders ask the
+tracker, then fetch chunks from the chosen seed.  One seed fails mid-way
+through a transfer, so its client falls back to another seed.
+
+Run with::
+
+    python examples/p2p_filesharing.py
+"""
+
+from repro import Environment, SimTimeoutError, Task, TransferFailureError
+from repro.platform import Platform
+from repro.surf.trace import Trace
+
+FILE_SIZE = 40e6          # 40 MB file
+CHUNK_SIZE = 10e6         # fetched in 10 MB chunks
+TRACKER_PORT = 1
+SEED_PORT = 2
+
+
+def build_volatile_platform(num_peers=4):
+    """Internet-like star: slow asymmetric links, volatile availability."""
+    platform = Platform("volatile-internet")
+    platform.add_router("internet")
+    platform.add_host("tracker", 1e9)
+    platform.add_link("tracker-link", 1.25e6, 20e-3)
+    platform.connect("tracker", "internet", "tracker-link")
+    for i in range(num_peers):
+        # peer 1 suffers a transient failure between t=30s and t=200s
+        state_trace = None
+        if i == 1:
+            state_trace = Trace([(30.0, 0.0), (200.0, 1.0)],
+                                name="peer-1-failure")
+        # external load halves peer 2's CPU every other 50 s
+        avail_trace = None
+        if i == 2:
+            avail_trace = Trace([(0.0, 1.0), (50.0, 0.5)], period=100.0,
+                                name="peer-2-load")
+        platform.add_host(f"peer-{i}", 5e8, state_trace=state_trace,
+                          availability_trace=avail_trace)
+        platform.add_link(f"peer-link-{i}", 6.25e5, 30e-3)
+        platform.connect(f"peer-{i}", "internet", f"peer-link-{i}")
+    return platform
+
+
+def tracker(proc, seeds, expected_queries):
+    """Answers "who has the file?" queries with the list of seeds."""
+    served = 0
+    while served < expected_queries:
+        query = yield proc.get(TRACKER_PORT)
+        reply = Task("seed-list", data_size=1e3, payload=list(seeds))
+        yield proc.put(reply, query.payload, 10)
+        served += 1
+
+
+def seed(proc, chunks_to_serve):
+    """Serves chunk requests until told it is no longer needed."""
+    served = 0
+    while served < chunks_to_serve:
+        try:
+            request = yield proc.get(SEED_PORT, timeout=500.0)
+        except SimTimeoutError:
+            return
+        chunk = Task("chunk", data_size=CHUNK_SIZE, payload=request.payload)
+        yield proc.put(chunk, request.sender.host, 20)
+        served += 1
+
+
+def downloader(proc, name, log, preferred_seed=0):
+    """Asks the tracker for seeds, then downloads the file chunk by chunk."""
+    query = Task("query", data_size=1e3, payload=proc.host.name)
+    yield proc.put(query, "tracker", TRACKER_PORT)
+    seed_list = (yield proc.get(10)).payload
+
+    remaining = FILE_SIZE
+    seed_index = preferred_seed
+    failures = 0
+    while remaining > 0:
+        target = seed_list[seed_index % len(seed_list)]
+        request = Task("chunk-request", data_size=1e3, payload=name)
+        try:
+            yield proc.put(request, target, SEED_PORT, timeout=60.0)
+            chunk = yield proc.get(20, timeout=120.0)
+            remaining -= chunk.data_size
+            log.append((proc.now, name, f"got chunk from {target}"))
+        except (TransferFailureError, SimTimeoutError) as exc:
+            failures += 1
+            log.append((proc.now, name,
+                        f"seed {target} unavailable ({type(exc).__name__}), "
+                        "switching"))
+            seed_index += 1
+            if failures > 10:
+                log.append((proc.now, name, "giving up"))
+                return
+    log.append((proc.now, name, "download complete"))
+
+
+def main():
+    platform = build_volatile_platform()
+    env = Environment(platform)
+    log = []
+
+    seeds = ["peer-0", "peer-1"]
+    env.create_process("tracker", "tracker", tracker, seeds, 2)
+    env.create_process("seed-0", "peer-0", seed, 12, daemon=True)
+    env.create_process("seed-1", "peer-1", seed, 12, daemon=True)
+    # leech-2 prefers the seed that will fail at t=30s, so it exercises the
+    # failure-handling / fallback path; leech-3 starts on the healthy seed.
+    env.create_process("leech-2", "peer-2", downloader, "leech-2", log, 1)
+    env.create_process("leech-3", "peer-3", downloader, "leech-3", log, 0)
+
+    final_time = env.run()
+    print(f"P2P session finished at t={final_time:.1f} s\n")
+    for when, who, what in log:
+        print(f"  [{when:8.2f}] {who:8s} {what}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""repro — a pure-Python reproduction of the SimGrid HPDC'06 system.
+
+The package mirrors the paper's architecture::
+
+    MSG               GRAS                SMPI
+    (prototyping)     (dev + deployment)  (MPI app simulation)
+            \\            |                /
+             +------- kernel (contexts, simcalls) ------+
+                              |
+                            SURF  (fluid platform simulation, MaxMin fairness)
+                              |
+                          platform (hosts, links, routes, topologies)
+
+plus ``repro.packet`` (a packet-level TCP simulator standing in for
+NS2/GTNetS in the validation experiment), ``repro.wire`` (middleware
+wire-format comparators for the GRAS tables), ``repro.amok`` (the Grid
+Application Toolbox: monitoring and topology discovery) and
+``repro.tracing`` (Gantt charts).
+
+Quickstart
+----------
+>>> from repro import Environment, Task, make_star
+>>> platform = make_star(num_hosts=2)
+>>> env = Environment(platform)
+>>> def pinger(proc):
+...     yield proc.send(Task("ping", data_size=1e6), "rendezvous")
+>>> def ponger(proc):
+...     task = yield proc.receive("rendezvous")
+...     yield proc.execute(1e9)
+>>> _ = env.create_process("pinger", "leaf-0", pinger)
+>>> _ = env.create_process("ponger", "leaf-1", ponger)
+>>> final_time = env.run()
+"""
+
+from repro.exceptions import (
+    CancelledError,
+    DataDescriptionError,
+    DeadlockError,
+    HostFailureError,
+    MpiError,
+    NetworkError,
+    NoRouteError,
+    PlatformError,
+    ProcessKilledError,
+    SimGridError,
+    SimTimeoutError,
+    TransferFailureError,
+    UnknownMessageError,
+)
+from repro.msg import (
+    Environment,
+    Host,
+    Mailbox,
+    Process,
+    Task,
+)
+from repro.platform import (
+    Platform,
+    load_platform,
+    make_barabasi_albert_topology,
+    make_client_server_lan,
+    make_cluster,
+    make_dumbbell,
+    make_star,
+    make_two_site_grid,
+    make_waxman_topology,
+    save_platform,
+)
+from repro.surf import (
+    CpuModel,
+    MaxMinSystem,
+    NetworkModel,
+    NetworkModelConfig,
+    SurfEngine,
+    Trace,
+)
+from repro.tracing import GanttChart, Recorder
+from repro.version import __version__
+
+__all__ = [
+    "CancelledError",
+    "CpuModel",
+    "DataDescriptionError",
+    "DeadlockError",
+    "Environment",
+    "GanttChart",
+    "Host",
+    "HostFailureError",
+    "Mailbox",
+    "MaxMinSystem",
+    "MpiError",
+    "NetworkError",
+    "NetworkModel",
+    "NetworkModelConfig",
+    "NoRouteError",
+    "Platform",
+    "PlatformError",
+    "Process",
+    "ProcessKilledError",
+    "Recorder",
+    "SimGridError",
+    "SimTimeoutError",
+    "SurfEngine",
+    "Task",
+    "Trace",
+    "TransferFailureError",
+    "UnknownMessageError",
+    "__version__",
+    "load_platform",
+    "make_barabasi_albert_topology",
+    "make_client_server_lan",
+    "make_cluster",
+    "make_dumbbell",
+    "make_star",
+    "make_two_site_grid",
+    "make_waxman_topology",
+    "save_platform",
+]

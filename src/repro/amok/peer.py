@@ -1,0 +1,65 @@
+"""Peer management: the lightweight registry AMOK services share."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Peer", "PeerManager"]
+
+
+@dataclass(frozen=True)
+class Peer:
+    """One known peer: a GRAS endpoint plus free-form metadata."""
+
+    name: str
+    host: str
+    port: int
+    metadata: tuple = ()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class PeerManager:
+    """A registry of peers, keyed by name.
+
+    AMOK's monitoring services use it to track which sensors exist and
+    where they listen; the topology-inference module iterates over it to
+    pick measurement pairs.
+    """
+
+    def __init__(self) -> None:
+        self._peers: Dict[str, Peer] = {}
+
+    def register(self, name: str, host: str, port: int,
+                 **metadata: str) -> Peer:
+        """Add (or replace) a peer."""
+        peer = Peer(name=name, host=host, port=port,
+                    metadata=tuple(sorted(metadata.items())))
+        self._peers[name] = peer
+        return peer
+
+    def unregister(self, name: str) -> None:
+        self._peers.pop(name, None)
+
+    def get(self, name: str) -> Optional[Peer]:
+        return self._peers.get(name)
+
+    def peers(self) -> List[Peer]:
+        """All peers, sorted by name."""
+        return [self._peers[name] for name in sorted(self._peers)]
+
+    def pairs(self) -> Iterator[tuple]:
+        """Every unordered pair of distinct peers (measurement schedule)."""
+        ordered = self.peers()
+        for i, first in enumerate(ordered):
+            for second in ordered[i + 1:]:
+                yield first, second
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._peers

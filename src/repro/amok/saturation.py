@@ -1,0 +1,103 @@
+"""Link saturation experiments.
+
+AMOK's saturation module floods a path with traffic while another pair of
+processes measures the bandwidth they still obtain — that is how the
+original tool detects which measurement pairs *interfere*, i.e. share a
+bottleneck.  The simulated version reproduces this on an MSG environment:
+the saturating flow and the measured flow run concurrently, and the drop in
+measured bandwidth quantifies the interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.msg.environment import Environment
+from repro.msg.task import Task
+from repro.platform.platform import Platform
+
+__all__ = ["SaturationExperiment", "SaturationResult"]
+
+
+@dataclass
+class SaturationResult:
+    """Bandwidths measured without and with the saturating flow."""
+
+    measured_pair: Tuple[str, str]
+    saturating_pair: Tuple[str, str]
+    baseline_bandwidth: float
+    saturated_bandwidth: float
+
+    @property
+    def interference_ratio(self) -> float:
+        """1.0 = no interference, 0.5 = the measured flow lost half its rate."""
+        if self.baseline_bandwidth <= 0:
+            return 1.0
+        return self.saturated_bandwidth / self.baseline_bandwidth
+
+    @property
+    def shares_bottleneck(self) -> bool:
+        """Heuristic: a >20% rate drop means the two pairs share a link."""
+        return self.interference_ratio < 0.8
+
+
+class SaturationExperiment:
+    """Measure how much a saturating flow degrades a measured flow."""
+
+    def __init__(self, probe_bytes: float = 10e6,
+                 saturation_bytes: float = 1e9) -> None:
+        self.probe_bytes = probe_bytes
+        self.saturation_bytes = saturation_bytes
+
+    def _timed_transfer(self, platform_factory, src: str, dst: str,
+                        saturate: Optional[Tuple[str, str]] = None) -> float:
+        """Simulate one probe transfer; returns its duration."""
+        platform = platform_factory()
+        env = Environment(platform)
+        finished: Dict[str, float] = {}
+
+        def sender(proc, mailbox, size):
+            yield proc.send(Task("probe", data_size=size), mailbox)
+
+        def receiver(proc, mailbox):
+            start = proc.now
+            yield proc.receive(mailbox)
+            finished["duration"] = proc.now - start
+
+        def saturator(proc, mailbox, size):
+            yield proc.send(Task("saturation", data_size=size), mailbox)
+
+        def sink(proc, mailbox):
+            yield proc.receive(mailbox)
+
+        env.create_process("probe-send", src, sender, "amok:probe",
+                           self.probe_bytes)
+        env.create_process("probe-recv", dst, receiver, "amok:probe")
+        if saturate is not None:
+            sat_src, sat_dst = saturate
+            env.create_process("sat-send", sat_src, saturator, "amok:sat",
+                               self.saturation_bytes, daemon=True)
+            env.create_process("sat-recv", sat_dst, sink, "amok:sat",
+                               daemon=True)
+        env.run()
+        return finished.get("duration", float("inf"))
+
+    def run(self, platform_factory, measured_pair: Tuple[str, str],
+            saturating_pair: Tuple[str, str]) -> SaturationResult:
+        """Run the baseline and the saturated probe on fresh platforms.
+
+        ``platform_factory`` is a zero-argument callable returning a *new*
+        :class:`Platform` each time (platforms cannot be realized twice).
+        """
+        baseline_duration = self._timed_transfer(platform_factory,
+                                                 *measured_pair)
+        saturated_duration = self._timed_transfer(platform_factory,
+                                                  *measured_pair,
+                                                  saturate=saturating_pair)
+        return SaturationResult(
+            measured_pair=measured_pair,
+            saturating_pair=saturating_pair,
+            baseline_bandwidth=self.probe_bytes / baseline_duration,
+            saturated_bandwidth=self.probe_bytes / saturated_duration,
+        )

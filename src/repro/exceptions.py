@@ -1,0 +1,80 @@
+"""Exception hierarchy shared by every layer of the reproduction.
+
+The original SimGrid C library reports errors through ``MSG_error_t`` codes
+(``MSG_OK``, ``MSG_HOST_FAILURE``, ``MSG_TRANSFER_FAILURE``,
+``MSG_TIMEOUT`` ...) and through the GRAS exception mechanism.  The Python
+reproduction maps those onto a conventional exception hierarchy rooted at
+:class:`SimGridError` so user code can catch broad or narrow classes of
+failures.
+"""
+
+from __future__ import annotations
+
+
+class SimGridError(Exception):
+    """Base class for every error raised by the simulator."""
+
+
+class PlatformError(SimGridError):
+    """The platform description is invalid (unknown host, no route, ...)."""
+
+
+class NoRouteError(PlatformError):
+    """No route exists between two hosts of the platform."""
+
+
+class HostFailureError(SimGridError):
+    """The host running an activity (or its peer) failed.
+
+    Mirrors ``MSG_HOST_FAILURE``: raised inside a simulated process when the
+    host executing it is turned off by a state trace or an explicit failure
+    injection, or when the host on which it executes a task dies.
+    """
+
+
+class TransferFailureError(SimGridError):
+    """A data transfer was interrupted (link or peer host failed).
+
+    Mirrors ``MSG_TRANSFER_FAILURE``.
+    """
+
+
+class SimTimeoutError(SimGridError, TimeoutError):
+    """A blocking operation did not complete before its timeout.
+
+    Mirrors ``MSG_TIMEOUT``.  Named ``SimTimeoutError`` to avoid shadowing
+    the built-in :class:`TimeoutError`, of which it is also a subclass so
+    that ``except TimeoutError`` works as expected.
+    """
+
+
+class CancelledError(SimGridError):
+    """The activity was cancelled by another process (``MSG_TASK_CANCELED``)."""
+
+
+class ProcessKilledError(SimGridError):
+    """Raised inside a simulated process when it is killed.
+
+    User process code normally should *not* catch this (or should re-raise
+    it) so the kernel can tear the process down.
+    """
+
+
+class DeadlockError(SimGridError):
+    """Every remaining process is blocked and no activity can make progress."""
+
+
+class NetworkError(SimGridError):
+    """A GRAS real-life communication error (socket failure, peer gone)."""
+
+
+class UnknownMessageError(SimGridError):
+    """A GRAS process received a message whose type was never declared."""
+
+
+class DataDescriptionError(SimGridError):
+    """A GRAS data description is inconsistent or cannot encode a value."""
+
+
+class MpiError(SimGridError):
+    """An SMPI call was used incorrectly (bad rank, mismatched collective...)."""

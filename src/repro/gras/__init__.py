@@ -1,0 +1,53 @@
+"""GRAS — Grid Reality And Simulation (paper section "Application development").
+
+GRAS is the API for developing *real* distributed applications that run
+unchanged either inside the simulator or in the real world:
+
+* typed messages whose payloads are described once (:mod:`repro.gras.datadesc`)
+  and exchanged across heterogeneous architectures ("simple and
+  cross-architecture communication of complex data structures");
+* callbacks and explicit waits on message types (:mod:`repro.gras.message`);
+* two interchangeable backends: :class:`~repro.gras.sim_backend.SimWorld`
+  runs every GRAS process inside the MSG simulator, while
+  :class:`~repro.gras.rl_backend.RlWorld` runs the very same process
+  functions over real localhost TCP sockets and OS threads;
+* automatic benchmarking of computation blocks
+  (:mod:`repro.gras.bench`) so that real code can be simulated accurately.
+"""
+
+from repro.gras.arch import ARCHITECTURES, Architecture, LOCAL_ARCH
+from repro.gras.bench import BenchRecorder
+from repro.gras.datadesc import (
+    ArrayDesc,
+    DataDescription,
+    ScalarDesc,
+    StringDesc,
+    StructDesc,
+    datadesc_by_name,
+    declare_struct,
+)
+from repro.gras.message import MessageType, MessageRegistry
+from repro.gras.process import GrasProcess
+from repro.gras.rl_backend import RlWorld
+from repro.gras.sim_backend import SimWorld
+from repro.gras.socket import GrasSocket
+
+__all__ = [
+    "ARCHITECTURES",
+    "Architecture",
+    "ArrayDesc",
+    "BenchRecorder",
+    "DataDescription",
+    "GrasProcess",
+    "GrasSocket",
+    "LOCAL_ARCH",
+    "MessageRegistry",
+    "MessageType",
+    "RlWorld",
+    "ScalarDesc",
+    "SimWorld",
+    "StringDesc",
+    "StructDesc",
+    "datadesc_by_name",
+    "declare_struct",
+]

@@ -1,0 +1,139 @@
+"""The GRAS process interface shared by the simulation and real-life backends.
+
+The whole point of GRAS (paper: *"Ability to run the same code in full or
+partial simulation mode or in real-world mode"*) is that application code is
+written once against this interface and executed by either backend:
+
+* :class:`repro.gras.sim_backend.SimGrasProcess` runs it inside the MSG
+  simulator (using the thread context factory, so the code contains no
+  ``yield``);
+* :class:`repro.gras.rl_backend.RlGrasProcess` runs it as a real thread
+  exchanging bytes over localhost TCP sockets.
+
+Application code receives a :class:`GrasProcess` as its first argument and
+uses only its methods, exactly like C GRAS code uses only ``gras_*``
+functions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+from repro.gras.arch import Architecture, LOCAL_ARCH
+from repro.gras.bench import BenchRecorder
+from repro.gras.message import MessageRegistry
+from repro.gras.socket import GrasSocket
+
+__all__ = ["GrasProcess"]
+
+
+class GrasProcess:
+    """Abstract GRAS process: messaging, sockets, time, benchmarking."""
+
+    def __init__(self, name: str, arch: Architecture = LOCAL_ARCH) -> None:
+        self.name = name
+        self.arch = arch
+        self.registry = MessageRegistry()
+        self.bench_recorder = BenchRecorder()
+        self.properties: dict = {}
+
+    # -- message types -------------------------------------------------------------------
+    def msgtype_declare(self, name: str, payload_desc=None) -> None:
+        """Declare a message type (``gras_msgtype_declare``)."""
+        self.registry.declare(name, payload_desc)
+
+    def cb_register(self, msgtype_name: str, callback: Callable) -> None:
+        """Register ``callback(process, source_socket, payload)`` for a type."""
+        self.registry.register_callback(msgtype_name, callback)
+
+    # -- sockets (backend-specific) ---------------------------------------------------------
+    def socket_server(self, port: int) -> GrasSocket:
+        """Open a server socket on ``port`` (``gras_socket_server``)."""
+        raise NotImplementedError
+
+    def socket_client(self, host: str, port: int) -> GrasSocket:
+        """Create a client socket to ``host:port`` (``gras_socket_client``)."""
+        raise NotImplementedError
+
+    # -- messaging (backend-specific) ----------------------------------------------------------
+    def msg_send(self, socket: GrasSocket, msgtype_name: str,
+                 payload: Any = None) -> None:
+        """Send one typed message to ``socket`` (``gras_msg_send``)."""
+        raise NotImplementedError
+
+    def msg_wait(self, timeout: float, msgtype_name: str
+                 ) -> Tuple[GrasSocket, Any]:
+        """Block until a message of the given type arrives.
+
+        Returns ``(source_socket, payload)`` like ``gras_msg_wait`` fills
+        its ``&from`` and ``&payload`` output arguments.
+        """
+        raise NotImplementedError
+
+    def msg_handle(self, timeout: float) -> bool:
+        """Wait for (at most ``timeout``) and dispatch one incoming message.
+
+        Returns True when a message was handled, False on timeout.
+        """
+        raise NotImplementedError
+
+    # -- time (backend-specific) -------------------------------------------------------------------
+    def os_time(self) -> float:
+        """Current time (simulated clock or wall clock)."""
+        raise NotImplementedError
+
+    def os_sleep(self, duration: float) -> None:
+        """Sleep (simulated or real)."""
+        raise NotImplementedError
+
+    # -- benchmarking ----------------------------------------------------------------------------------
+    def _inject_computation(self, duration: float) -> None:
+        """Account for ``duration`` seconds of computation (backend hook)."""
+        raise NotImplementedError
+
+    @contextlib.contextmanager
+    def bench_always(self, key: str = "") -> Iterator[None]:
+        """``GRAS_BENCH_ALWAYS_BEGIN/END``: measure the block every time.
+
+        The real duration of the block is measured and, in simulation mode,
+        injected as simulated computation on the process's host.
+        """
+        import time as _time
+        start = _time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = _time.perf_counter() - start
+            if key:
+                self.bench_recorder.record(key, elapsed)
+            self._inject_computation(elapsed)
+
+    @contextlib.contextmanager
+    def bench_once(self, key: str) -> Iterator[bool]:
+        """``SMPI_BENCH_ONCE``-style sampling: run the block once for real.
+
+        The context manager yields ``True`` when the block should really
+        run (first time) and ``False`` afterwards; either way the recorded
+        duration is injected as simulated computation.
+
+        Usage::
+
+            with proc.bench_once("dgemm") as should_run:
+                if should_run:
+                    expensive_kernel()
+        """
+        import time as _time
+        should_run = not self.bench_recorder.has(key)
+        start = _time.perf_counter()
+        try:
+            yield should_run
+        finally:
+            if should_run:
+                elapsed = _time.perf_counter() - start
+                self.bench_recorder.record(key, elapsed)
+            self._inject_computation(self.bench_recorder.duration_of(key))
+
+    # -- lifecycle -----------------------------------------------------------------------------------------
+    def exit(self) -> None:
+        """Tear the process down (``gras_exit``); default is a no-op."""

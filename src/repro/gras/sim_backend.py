@@ -1,0 +1,195 @@
+"""GRAS simulation backend: run GRAS processes inside the MSG simulator.
+
+A :class:`SimWorld` wraps an MSG :class:`~repro.msg.environment.Environment`
+configured with the *thread* context factory, so GRAS application code is
+written as plain blocking calls — the very same code the real-life backend
+(:mod:`repro.gras.rl_backend`) executes over real sockets.
+
+Message transport: each ``(host, port)`` server socket maps to the MSG
+mailbox ``"gras:<host>:<port>"``; ``msg_send`` wraps the encoded payload in
+an MSG task whose ``data_size`` is the wire size of the message, so the
+SURF network model charges exactly what the real message would cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import SimTimeoutError, UnknownMessageError
+from repro.gras.arch import ARCHITECTURES, Architecture, LOCAL_ARCH
+from repro.gras.message import GrasMessage
+from repro.gras.process import GrasProcess
+from repro.gras.socket import GrasSocket
+from repro.msg.environment import Environment
+from repro.msg.process import Process
+from repro.msg.task import Task
+from repro.platform.platform import Platform
+
+__all__ = ["SimWorld", "SimGrasProcess"]
+
+#: Ports above this value are considered ephemeral (auto-assigned).
+_EPHEMERAL_BASE = 50000
+
+
+def _mailbox_name(host: str, port: int) -> str:
+    return f"gras:{host}:{port}"
+
+
+class SimGrasProcess(GrasProcess):
+    """A GRAS process executed inside the simulator."""
+
+    def __init__(self, world: "SimWorld", msg_process: Process,
+                 arch: Architecture) -> None:
+        super().__init__(msg_process.name, arch)
+        self.world = world
+        self._proc = msg_process
+        self._listen_port: Optional[int] = None
+        self._buffer: List[GrasMessage] = []
+
+    # -- sockets ---------------------------------------------------------------------
+    @property
+    def host_name(self) -> str:
+        return self._proc.host.name
+
+    def socket_server(self, port: int) -> GrasSocket:
+        self._listen_port = port
+        return GrasSocket(self.host_name, port, is_server=True)
+
+    def socket_client(self, host: str, port: int) -> GrasSocket:
+        return GrasSocket(host, port)
+
+    def _ensure_listen_port(self) -> int:
+        if self._listen_port is None:
+            self._listen_port = _EPHEMERAL_BASE + self._proc.pid
+        return self._listen_port
+
+    # -- messaging --------------------------------------------------------------------
+    def msg_send(self, socket: GrasSocket, msgtype_name: str,
+                 payload: Any = None) -> None:
+        msgtype = self.registry.by_name(msgtype_name)
+        payload_bytes = b""
+        if msgtype.payload_desc is not None and payload is not None:
+            payload_bytes = msgtype.payload_desc.encode(payload, self.arch)
+        message = GrasMessage(
+            msgtype=msgtype_name,
+            payload_bytes=payload_bytes,
+            sender_arch=self.arch.name,
+            sender_host=self.host_name,
+            sender_port=self._ensure_listen_port(),
+        )
+        task = Task(f"gras:{msgtype_name}",
+                    data_size=msgtype.wire_size(payload, self.arch),
+                    payload=message)
+        self._proc.send(task, _mailbox_name(socket.host, socket.port))
+
+    def _next_message(self, timeout: float) -> GrasMessage:
+        """Pop the next message (from the buffer or from the mailbox)."""
+        if self._buffer:
+            return self._buffer.pop(0)
+        port = self._ensure_listen_port()
+        task = self._proc.receive(_mailbox_name(self.host_name, port),
+                                  timeout=timeout if not math.isinf(timeout)
+                                  else None)
+        return task.payload
+
+    def _decode(self, message: GrasMessage) -> Any:
+        msgtype = self.registry.by_name(message.msgtype)
+        if msgtype.payload_desc is None or not message.payload_bytes:
+            return None
+        src_arch = ARCHITECTURES.get(message.sender_arch, LOCAL_ARCH)
+        value, _ = msgtype.payload_desc.decode(message.payload_bytes, src_arch)
+        return value
+
+    def msg_wait(self, timeout: float, msgtype_name: str
+                 ) -> Tuple[GrasSocket, Any]:
+        deadline = self.os_time() + timeout
+        # First serve matching buffered messages.
+        for idx, message in enumerate(self._buffer):
+            if message.msgtype == msgtype_name:
+                self._buffer.pop(idx)
+                return (GrasSocket(message.sender_host, message.sender_port),
+                        self._decode(message))
+        while True:
+            remaining = deadline - self.os_time()
+            if remaining < 0:
+                raise SimTimeoutError(
+                    f"no {msgtype_name!r} message within {timeout}s")
+            message = self._next_message(remaining)
+            if message.msgtype == msgtype_name:
+                return (GrasSocket(message.sender_host, message.sender_port),
+                        self._decode(message))
+            self._buffer.append(message)
+
+    def msg_handle(self, timeout: float) -> bool:
+        try:
+            message = (self._buffer.pop(0) if self._buffer
+                       else self._next_message(timeout))
+        except SimTimeoutError:
+            return False
+        callback = self.registry.callback_for(message.msgtype)
+        if callback is None:
+            raise UnknownMessageError(
+                f"no callback registered for {message.msgtype!r}")
+        source = GrasSocket(message.sender_host, message.sender_port)
+        callback(self, source, self._decode(message))
+        return True
+
+    # -- time ---------------------------------------------------------------------------
+    def os_time(self) -> float:
+        return self._proc.now
+
+    def os_sleep(self, duration: float) -> None:
+        self._proc.sleep(duration)
+
+    # -- benchmarking ------------------------------------------------------------------------
+    def _inject_computation(self, duration: float) -> None:
+        if duration <= 0:
+            return
+        flops = duration * self._proc.host.speed
+        self._proc.execute(flops, name="gras-bench")
+
+
+class SimWorld:
+    """A set of GRAS processes deployed on a simulated platform."""
+
+    def __init__(self, platform: Platform,
+                 arch_by_host: Optional[Dict[str, str]] = None,
+                 recorder=None) -> None:
+        self.env = Environment(platform, context_factory="thread",
+                               recorder=recorder)
+        self.arch_by_host = arch_by_host or {}
+        self.gras_processes: List[SimGrasProcess] = []
+
+    def _arch_for(self, host_name: str,
+                  arch: Optional[str]) -> Architecture:
+        name = arch or self.arch_by_host.get(host_name)
+        if name is None:
+            return LOCAL_ARCH
+        return ARCHITECTURES[name]
+
+    def add_process(self, name: str, host: str, func: Callable, *args,
+                    arch: Optional[str] = None, **kwargs) -> Process:
+        """Deploy ``func(gras_process, *args)`` on ``host``.
+
+        ``arch`` selects the simulated architecture of that host
+        (``"x86"``, ``"sparc"``, ``"powerpc"``...), which drives the wire
+        encoding of the messages it sends.
+        """
+        architecture = self._arch_for(host, arch)
+        world = self
+
+        def body(msg_process: Process, *fargs, **fkwargs):
+            gras_process = SimGrasProcess(world, msg_process, architecture)
+            world.gras_processes.append(gras_process)
+            func(gras_process, *fargs, **fkwargs)
+
+        return self.env.create_process(name, host, body, *args, **kwargs)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation; returns the final simulated time."""
+        return self.env.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.env.now

@@ -1,0 +1,66 @@
+"""The simulation micro-kernel: process contexts, simcalls and timers.
+
+This layer plays the role of SimGrid's *simix*/context layer: it knows how
+to run simulated-process code (as cooperative generator coroutines or as
+real OS threads handed control one at a time) and how that code communicates
+its blocking requests ("simcalls") to the simulation engine.
+
+It is shared by the three user-facing APIs (MSG, GRAS-in-simulation, SMPI),
+which is exactly the layering of the paper's architecture diagram
+(MSG / GRAS / SMPI all sit on top of SURF through one kernel).
+"""
+
+from repro.kernel.context import (
+    Context,
+    ContextFactory,
+    GeneratorContext,
+    GeneratorContextFactory,
+    ThreadContext,
+    ThreadContextFactory,
+    make_context_factory,
+)
+from repro.kernel.simcall import (
+    ExecuteCall,
+    IrecvCall,
+    IsendCall,
+    JoinCall,
+    KillCall,
+    RecvCall,
+    ResumeCall,
+    SendCall,
+    Simcall,
+    SleepCall,
+    SuspendCall,
+    TestCall,
+    WaitAnyCall,
+    WaitCall,
+    YieldCall,
+)
+from repro.kernel.timer import Timer, TimerQueue
+
+__all__ = [
+    "Context",
+    "ContextFactory",
+    "ExecuteCall",
+    "GeneratorContext",
+    "GeneratorContextFactory",
+    "IrecvCall",
+    "IsendCall",
+    "JoinCall",
+    "KillCall",
+    "RecvCall",
+    "ResumeCall",
+    "SendCall",
+    "Simcall",
+    "SleepCall",
+    "SuspendCall",
+    "TestCall",
+    "ThreadContext",
+    "ThreadContextFactory",
+    "Timer",
+    "TimerQueue",
+    "WaitAnyCall",
+    "WaitCall",
+    "YieldCall",
+    "make_context_factory",
+]

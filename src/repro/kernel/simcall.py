@@ -1,0 +1,169 @@
+"""Simcalls: the blocking requests a simulated process hands to the kernel.
+
+A simulated process never touches the SURF models directly.  Whenever it
+needs something that takes simulated time (executing flops, transferring a
+task, sleeping, waiting for another process...), it builds a *simcall*
+object describing the request and yields it to the kernel (generator
+contexts) or submits it through the context handshake (thread contexts).
+The kernel turns the simcall into SURF actions and resumes the process with
+the result once the corresponding activity completes.
+
+This mirrors SimGrid's simcall mechanism and keeps the user-facing APIs
+(MSG, GRAS, SMPI) thin translation layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+__all__ = [
+    "Simcall", "ExecuteCall", "SleepCall", "SendCall", "RecvCall",
+    "IsendCall", "IrecvCall", "WaitCall", "WaitAnyCall", "TestCall",
+    "KillCall", "SuspendCall", "ResumeCall", "JoinCall", "YieldCall",
+]
+
+
+class Simcall:
+    """Base class of every kernel request."""
+
+    __slots__ = ()
+
+
+@dataclass
+class ExecuteCall(Simcall):
+    """Execute ``flops`` floating point operations on ``host``.
+
+    ``host`` may be ``None`` to mean "the host the calling process runs on".
+    ``priority`` is the CPU sharing weight; ``bound`` caps the speed.
+    The yield result is ``None`` when the execution completes.
+    """
+
+    flops: float
+    host: Optional[Any] = None
+    priority: float = 1.0
+    bound: Optional[float] = None
+    name: str = "compute"
+
+
+@dataclass
+class SleepCall(Simcall):
+    """Sleep for ``duration`` simulated seconds."""
+
+    duration: float
+
+
+@dataclass
+class SendCall(Simcall):
+    """Synchronous (rendezvous) send of ``task`` to ``mailbox``.
+
+    Blocks the caller until the transfer has completed, like
+    ``MSG_task_put``.  ``rate`` optionally caps the transfer rate
+    (``MSG_task_put_bounded``); ``timeout`` bounds the wait.
+    """
+
+    mailbox: Any
+    task: Any
+    rate: Optional[float] = None
+    timeout: Optional[float] = None
+
+
+@dataclass
+class RecvCall(Simcall):
+    """Synchronous receive from ``mailbox`` (``MSG_task_get``).
+
+    The yield result is the received task.
+    """
+
+    mailbox: Any
+    timeout: Optional[float] = None
+    rate: Optional[float] = None
+
+
+@dataclass
+class IsendCall(Simcall):
+    """Asynchronous send: returns a communication handle immediately.
+
+    ``detached=True`` means the caller never waits on the handle
+    (fire-and-forget, like ``MSG_task_dsend``).
+    """
+
+    mailbox: Any
+    task: Any
+    rate: Optional[float] = None
+    detached: bool = False
+
+
+@dataclass
+class IrecvCall(Simcall):
+    """Asynchronous receive: returns a communication handle immediately."""
+
+    mailbox: Any
+    rate: Optional[float] = None
+
+
+@dataclass
+class WaitCall(Simcall):
+    """Wait for an activity handle (from Isend/Irecv or an async exec).
+
+    The yield result is the received task for receive communications,
+    ``None`` otherwise.
+    """
+
+    activity: Any
+    timeout: Optional[float] = None
+
+
+@dataclass
+class WaitAnyCall(Simcall):
+    """Wait until any of several activity handles completes.
+
+    The yield result is the index of the completed activity in ``activities``.
+    """
+
+    activities: Sequence[Any]
+    timeout: Optional[float] = None
+
+
+@dataclass
+class TestCall(Simcall):
+    """Non-blocking completion test of an activity handle.
+
+    The yield result is ``True`` when the activity already completed.
+    """
+
+    activity: Any
+
+
+@dataclass
+class KillCall(Simcall):
+    """Kill ``process`` (possibly the caller itself)."""
+
+    process: Any
+
+
+@dataclass
+class SuspendCall(Simcall):
+    """Suspend ``process`` (``None`` means the caller)."""
+
+    process: Optional[Any] = None
+
+
+@dataclass
+class ResumeCall(Simcall):
+    """Resume a previously suspended ``process``."""
+
+    process: Any
+
+
+@dataclass
+class JoinCall(Simcall):
+    """Block until ``process`` terminates."""
+
+    process: Any
+    timeout: Optional[float] = None
+
+
+@dataclass
+class YieldCall(Simcall):
+    """Give the scheduler a chance to run other processes (no time passes)."""

@@ -1,0 +1,100 @@
+"""Simulated-time timers.
+
+Timers implement everything that is bound to a *date* rather than to the
+completion of a SURF action: process sleeps, communication timeouts, GRAS
+``gras_msg_wait`` deadlines, SMPI probes...
+
+The queue is a lazy-deletion binary heap: cancelling a timer marks it dead
+and it is skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Timer", "TimerQueue"]
+
+
+class Timer:
+    """One pending timer.
+
+    Attributes
+    ----------
+    date:
+        Absolute simulated date at which the timer fires.
+    callback:
+        Callable invoked (with no argument) when the timer fires.
+    """
+
+    __slots__ = ("date", "callback", "cancelled", "fired")
+
+    def __init__(self, date: float, callback: Callable[[], None]) -> None:
+        if date < 0:
+            raise ValueError("timer date must be >= 0")
+        self.date = date
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the timer is armed (not fired, not cancelled)."""
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("cancelled" if self.cancelled
+                 else "fired" if self.fired else "pending")
+        return f"Timer(date={self.date}, {state})"
+
+
+class TimerQueue:
+    """Min-heap of timers ordered by firing date."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._seq = itertools.count()
+
+    def schedule(self, date: float, callback: Callable[[], None]) -> Timer:
+        """Arm a timer at absolute ``date``."""
+        timer = Timer(date, callback)
+        heapq.heappush(self._heap, (date, next(self._seq), timer))
+        return timer
+
+    def next_date(self) -> float:
+        """Date of the next pending timer, or ``inf`` when none remain."""
+        self._drop_dead()
+        if not self._heap:
+            return math.inf
+        return self._heap[0][0]
+
+    def _drop_dead(self) -> None:
+        while self._heap and not self._heap[0][2].pending:
+            heapq.heappop(self._heap)
+
+    def fire_until(self, now: float) -> int:
+        """Fire every pending timer with ``date <= now``; return the count."""
+        fired = 0
+        while True:
+            self._drop_dead()
+            if not self._heap or self._heap[0][0] > now + 1e-12:
+                break
+            _, _, timer = heapq.heappop(self._heap)
+            if not timer.pending:
+                continue
+            timer.fired = True
+            timer.callback()
+            fired += 1
+        return fired
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, t in self._heap if t.pending)
+
+    def __bool__(self) -> bool:
+        return any(t.pending for _, _, t in self._heap)

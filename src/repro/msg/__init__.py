@@ -1,0 +1,51 @@
+"""MSG — the prototyping API (paper section "Application and algorithm prototyping").
+
+MSG offers *"a convenient and standard abstraction of a distributed
+application"*: processes running on hosts, exchanging tasks that carry both
+a computation payload and a communication payload, all simulated on the SURF
+virtual platform.
+"""
+
+from repro.msg.activity import Activity, ActivityState, CommActivity, ExecActivity
+from repro.msg.api import (
+    MBYTE,
+    MFLOP,
+    MSG_get_host_by_name,
+    MSG_process_sleep,
+    MSG_task_cancel,
+    MSG_task_create,
+    MSG_task_execute,
+    MSG_task_get,
+    MSG_task_put,
+)
+from repro.msg.environment import Environment
+from repro.msg.errors import MsgError, error_of_exception, exception_of_error
+from repro.msg.host import Host
+from repro.msg.mailbox import Mailbox
+from repro.msg.process import Process, ProcessState
+from repro.msg.task import Task
+
+__all__ = [
+    "Activity",
+    "ActivityState",
+    "CommActivity",
+    "Environment",
+    "ExecActivity",
+    "Host",
+    "MBYTE",
+    "MFLOP",
+    "MSG_get_host_by_name",
+    "MSG_process_sleep",
+    "MSG_task_cancel",
+    "MSG_task_create",
+    "MSG_task_execute",
+    "MSG_task_get",
+    "MSG_task_put",
+    "Mailbox",
+    "MsgError",
+    "Process",
+    "ProcessState",
+    "Task",
+    "error_of_exception",
+    "exception_of_error",
+]

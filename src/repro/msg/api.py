@@ -1,0 +1,76 @@
+"""Paper-style MSG helper functions.
+
+The paper's code listings use the C API (``MSG_task_create``,
+``MSG_task_put``, ``MSG_task_get``, ``MSG_task_execute``,
+``MSG_get_host_by_name``).  These helpers provide a literal translation so
+the examples read like the paper; new code should prefer the object API
+(:class:`~repro.msg.process.Process`, :class:`~repro.msg.task.Task`).
+
+Units follow the paper's listings: task compute payloads are given in
+**MFlop** and data payloads in **MB** (the comment in the paper's client
+code reads ``30.0 MFlop, 3.2 MB``), and are converted to flop and bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.msg.host import Host
+from repro.msg.process import Process
+from repro.msg.task import Task
+
+__all__ = [
+    "MFLOP", "MBYTE",
+    "MSG_task_create", "MSG_task_execute", "MSG_task_put", "MSG_task_get",
+    "MSG_get_host_by_name", "MSG_process_sleep", "MSG_task_cancel",
+]
+
+#: One MFlop, in flop.
+MFLOP = 1e6
+#: One MB, in bytes (the paper uses decimal megabytes).
+MBYTE = 1e6
+
+
+def MSG_task_create(name: str, compute_mflop: float, data_mb: float,
+                    payload: Any = None) -> Task:
+    """Create a task from MFlop / MB amounts, as in the paper's listings."""
+    return Task(name, compute_amount=compute_mflop * MFLOP,
+                data_size=data_mb * MBYTE, payload=payload)
+
+
+def MSG_get_host_by_name(process: Process, name: str) -> Host:
+    """Resolve a host by name from within a process."""
+    return process.env.host(name)
+
+
+def MSG_task_execute(process: Process, task: Task):
+    """Execute a task's compute payload on the calling process's host.
+
+    With the generator context factory this returns the simcall to yield::
+
+        yield MSG_task_execute(proc, task)
+    """
+    return process.execute(task)
+
+
+def MSG_task_put(process: Process, task: Task, dest: Union[str, Host],
+                 port: int, rate: Optional[float] = None,
+                 timeout: Optional[float] = None):
+    """Send ``task`` to ``dest``'s ``port`` (blocking rendezvous)."""
+    return process.put(task, dest, port, rate=rate, timeout=timeout)
+
+
+def MSG_task_get(process: Process, port: int,
+                 timeout: Optional[float] = None):
+    """Receive a task on the calling host's ``port`` (blocking)."""
+    return process.get(port, timeout=timeout)
+
+
+def MSG_process_sleep(process: Process, duration: float):
+    """Sleep for ``duration`` seconds of simulated time."""
+    return process.sleep(duration)
+
+
+def MSG_task_cancel(task: Task) -> None:
+    """Cancel the execution or transfer currently carrying ``task``."""
+    task.cancel()

@@ -1,0 +1,60 @@
+"""MSG error codes, mirroring the ``MSG_error_t`` enumeration of the paper's API.
+
+The Pythonic API raises exceptions (see :mod:`repro.exceptions`); these
+constants and helpers exist for code translated literally from the C API
+and for tests asserting on error categories.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Type
+
+from repro.exceptions import (
+    CancelledError,
+    HostFailureError,
+    SimGridError,
+    SimTimeoutError,
+    TransferFailureError,
+)
+
+__all__ = ["MsgError", "error_of_exception", "exception_of_error"]
+
+
+class MsgError(enum.Enum):
+    """The classic MSG return codes."""
+
+    OK = "MSG_OK"
+    HOST_FAILURE = "MSG_HOST_FAILURE"
+    TRANSFER_FAILURE = "MSG_TRANSFER_FAILURE"
+    TIMEOUT = "MSG_TIMEOUT"
+    TASK_CANCELED = "MSG_TASK_CANCELED"
+
+
+_EXC_TO_ERROR = {
+    HostFailureError: MsgError.HOST_FAILURE,
+    TransferFailureError: MsgError.TRANSFER_FAILURE,
+    SimTimeoutError: MsgError.TIMEOUT,
+    CancelledError: MsgError.TASK_CANCELED,
+}
+
+_ERROR_TO_EXC = {v: k for k, v in _EXC_TO_ERROR.items()}
+
+
+def error_of_exception(exc: Optional[BaseException]) -> MsgError:
+    """Map an exception (or ``None``) to the corresponding MSG error code."""
+    if exc is None:
+        return MsgError.OK
+    for exc_type, code in _EXC_TO_ERROR.items():
+        if isinstance(exc, exc_type):
+            return code
+    if isinstance(exc, SimGridError):
+        return MsgError.TRANSFER_FAILURE
+    raise TypeError(f"not a simulation error: {exc!r}")
+
+
+def exception_of_error(code: MsgError, message: str = "") -> Optional[SimGridError]:
+    """Map an MSG error code back to an exception instance (``OK`` -> None)."""
+    if code is MsgError.OK:
+        return None
+    return _ERROR_TO_EXC[code](message or code.value)

@@ -1,0 +1,219 @@
+"""MSG processes.
+
+The paper: *"Applications consist of processes; processes can be created,
+suspended, resumed and terminated dynamically; processes can synchronize by
+exchanging tasks."*
+
+A :class:`Process` wraps the user-supplied process function and offers the
+blocking operations.  With the default generator context factory, process
+functions are generator functions and every blocking operation is
+``yield``-ed::
+
+    def client(proc, server_name):
+        remote = Task("Remote", compute_amount=30e6, data_size=3.2e6)
+        yield proc.put(remote, server_name, port=22)
+        local = Task("Local", compute_amount=10.5e6)
+        yield proc.execute(local)
+        ack = yield proc.get(port=23)
+
+With the thread context factory the very same calls are plain blocking
+calls (no ``yield``), since each simulated process owns an OS thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING, Union
+
+from repro.kernel.context import Context, ThreadContext
+from repro.kernel.simcall import (
+    ExecuteCall, IrecvCall, IsendCall, JoinCall, KillCall, RecvCall,
+    ResumeCall, SendCall, Simcall, SleepCall, SuspendCall, TestCall,
+    WaitAnyCall, WaitCall, YieldCall,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.msg.environment import Environment
+    from repro.msg.host import Host
+    from repro.msg.task import Task
+
+__all__ = ["Process", "ProcessState"]
+
+_pids = itertools.count(1)
+
+
+class ProcessState:
+    """Symbolic process states (strings for easy debugging)."""
+
+    CREATED = "created"
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    SUSPENDED = "suspended"
+    DEAD = "dead"
+
+
+class Process:
+    """One simulated process: a function running on a host."""
+
+    def __init__(self, env: "Environment", name: str, host: "Host",
+                 func, args: tuple = (), kwargs: Optional[dict] = None,
+                 daemon: bool = False) -> None:
+        self.env = env
+        self.name = name
+        self.host = host
+        self.func = func
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.daemon = daemon
+        self.pid = next(_pids)
+        self.state = ProcessState.CREATED
+        self.context: Optional[Context] = None
+        #: Application-visible storage (``MSG_process_set_data``).
+        self.data: Dict[str, Any] = {}
+        # kernel bookkeeping
+        self._wait_activities: List[Any] = []
+        self._wait_timer = None
+        self._wait_kind: Optional[str] = None
+        self._suspended = False
+        self._parked_resume: Optional[tuple] = None
+        self._joiners: List["Process"] = []
+        self.exit_status: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------------------
+    # identity & state
+    # ------------------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return self.state != ProcessState.DEAD
+
+    @property
+    def is_suspended(self) -> bool:
+        return self._suspended
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.env.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Process(pid={self.pid}, name={self.name!r}, "
+                f"host={self.host.name!r}, state={self.state})")
+
+    # ------------------------------------------------------------------------------
+    # simcall submission
+    # ------------------------------------------------------------------------------
+    def _submit(self, simcall: Simcall):
+        """Return the simcall (generator mode) or block on it (thread mode)."""
+        if isinstance(self.context, ThreadContext):
+            return self.context.block(simcall)
+        return simcall
+
+    # -- computation -------------------------------------------------------------------
+    def execute(self, work: Union[float, "Task"], priority: Optional[float] = None,
+                bound: Optional[float] = None, host: Optional["Host"] = None,
+                name: Optional[str] = None):
+        """Execute ``work`` flops (or a task's compute payload) on this host.
+
+        Matches ``MSG_task_execute``.  Blocks until the computation is done.
+        """
+        from repro.msg.task import Task  # local import to avoid a cycle
+        if isinstance(work, Task):
+            flops = work.compute_amount
+            label = name or work.name
+            prio = priority if priority is not None else work.priority
+        else:
+            flops = float(work)
+            label = name or "compute"
+            prio = priority if priority is not None else 1.0
+        return self._submit(ExecuteCall(flops=flops, host=host or self.host,
+                                        priority=prio, bound=bound,
+                                        name=label))
+
+    def sleep(self, duration: float):
+        """Do nothing for ``duration`` simulated seconds."""
+        if duration < 0:
+            raise ValueError("sleep duration must be >= 0")
+        return self._submit(SleepCall(duration=duration))
+
+    # -- point-to-point communication -----------------------------------------------------
+    def put(self, task: "Task", dest: Union[str, "Host"], port: int = 0,
+            rate: Optional[float] = None, timeout: Optional[float] = None):
+        """Send ``task`` to ``dest``'s port (``MSG_task_put``).
+
+        The mailbox used is ``"<dest>:<port>"``.  Blocks until the receiver
+        has fully received the task (rendezvous semantics).
+        """
+        mailbox = self.env.mailbox_for(dest, port)
+        return self._submit(SendCall(mailbox=mailbox, task=task, rate=rate,
+                                     timeout=timeout))
+
+    def get(self, port: int = 0, host: Optional[Union[str, "Host"]] = None,
+            timeout: Optional[float] = None, rate: Optional[float] = None):
+        """Receive a task on one of *this host's* ports (``MSG_task_get``)."""
+        mailbox = self.env.mailbox_for(host or self.host, port)
+        return self._submit(RecvCall(mailbox=mailbox, timeout=timeout,
+                                     rate=rate))
+
+    def send(self, task: "Task", mailbox: str, rate: Optional[float] = None,
+             timeout: Optional[float] = None):
+        """Send ``task`` to a named mailbox (``MSG_task_send``)."""
+        return self._submit(SendCall(mailbox=self.env.mailbox(mailbox),
+                                     task=task, rate=rate, timeout=timeout))
+
+    def receive(self, mailbox: str, timeout: Optional[float] = None,
+                rate: Optional[float] = None):
+        """Receive a task from a named mailbox (``MSG_task_receive``)."""
+        return self._submit(RecvCall(mailbox=self.env.mailbox(mailbox),
+                                     timeout=timeout, rate=rate))
+
+    # -- asynchronous communication ---------------------------------------------------------
+    def isend(self, task: "Task", mailbox: str, rate: Optional[float] = None,
+              detached: bool = False):
+        """Start an asynchronous send; returns a communication handle."""
+        return self._submit(IsendCall(mailbox=self.env.mailbox(mailbox),
+                                      task=task, rate=rate, detached=detached))
+
+    def dsend(self, task: "Task", mailbox: str, rate: Optional[float] = None):
+        """Fire-and-forget send (``MSG_task_dsend``)."""
+        return self._submit(IsendCall(mailbox=self.env.mailbox(mailbox),
+                                      task=task, rate=rate, detached=True))
+
+    def irecv(self, mailbox: str, rate: Optional[float] = None):
+        """Start an asynchronous receive; returns a communication handle."""
+        return self._submit(IrecvCall(mailbox=self.env.mailbox(mailbox),
+                                      rate=rate))
+
+    def wait(self, activity, timeout: Optional[float] = None):
+        """Wait for an asynchronous activity; returns its result."""
+        return self._submit(WaitCall(activity=activity, timeout=timeout))
+
+    def wait_any(self, activities: Sequence[Any],
+                 timeout: Optional[float] = None):
+        """Wait until any of ``activities`` completes; returns its index."""
+        return self._submit(WaitAnyCall(activities=list(activities),
+                                        timeout=timeout))
+
+    def test(self, activity):
+        """Non-blocking check of an asynchronous activity."""
+        return self._submit(TestCall(activity=activity))
+
+    # -- process management --------------------------------------------------------------------
+    def kill(self, process: Optional["Process"] = None):
+        """Kill ``process`` (default: self)."""
+        return self._submit(KillCall(process=process or self))
+
+    def suspend(self, process: Optional["Process"] = None):
+        """Suspend ``process`` (default: self)."""
+        return self._submit(SuspendCall(process=process))
+
+    def resume_process(self, process: "Process"):
+        """Resume a suspended process."""
+        return self._submit(ResumeCall(process=process))
+
+    def join(self, process: "Process", timeout: Optional[float] = None):
+        """Wait for ``process`` to terminate."""
+        return self._submit(JoinCall(process=process, timeout=timeout))
+
+    def yield_(self):
+        """Let other runnable processes run (no simulated time passes)."""
+        return self._submit(YieldCall())

@@ -1,0 +1,78 @@
+"""MSG tasks.
+
+The paper's MSG abstraction: *"Processes can synchronize by exchanging
+tasks; tasks have a communication payload and an execution payload."*
+
+A :class:`Task` therefore carries
+
+* ``compute_amount`` — the execution payload in flops (what
+  ``MSG_task_execute`` simulates);
+* ``data_size`` — the communication payload in bytes (what
+  ``MSG_task_put`` / ``MSG_task_get`` simulate);
+* ``payload`` — an arbitrary Python object travelling with the task
+  (processes share one address space, so no copy is made — exactly the
+  "convenient communication via global data structures" of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+__all__ = ["Task"]
+
+_task_ids = itertools.count(1)
+
+
+class Task:
+    """A unit of work and/or data exchanged between MSG processes."""
+
+    def __init__(self, name: str, compute_amount: float = 0.0,
+                 data_size: float = 0.0, payload: Any = None,
+                 priority: float = 1.0) -> None:
+        if compute_amount < 0:
+            raise ValueError("compute_amount must be >= 0")
+        if data_size < 0:
+            raise ValueError("data_size must be >= 0")
+        if priority <= 0:
+            raise ValueError("priority must be > 0")
+        self.id = next(_task_ids)
+        self.name = name
+        self.compute_amount = float(compute_amount)
+        self.data_size = float(data_size)
+        self.payload = payload
+        self.priority = float(priority)
+        #: Filled in by the kernel when the task travels.
+        self.sender = None
+        self.receiver = None
+        self.source_host: Optional[str] = None
+        #: The activity currently carrying the task (for cancel()).
+        self._activity = None
+
+    # -- mutators used by applications ------------------------------------------------
+    def set_priority(self, priority: float) -> None:
+        """Change the sharing priority used when the task executes."""
+        if priority <= 0:
+            raise ValueError("priority must be > 0")
+        self.priority = float(priority)
+
+    def set_compute_amount(self, flops: float) -> None:
+        """Change the execution payload (e.g. after a partial execution)."""
+        if flops < 0:
+            raise ValueError("compute_amount must be >= 0")
+        self.compute_amount = float(flops)
+
+    def set_data_size(self, size: float) -> None:
+        """Change the communication payload."""
+        if size < 0:
+            raise ValueError("data_size must be >= 0")
+        self.data_size = float(size)
+
+    def cancel(self, now: Optional[float] = None) -> None:
+        """Cancel the execution or transfer currently carrying this task."""
+        if self._activity is not None:
+            self._activity.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Task(name={self.name!r}, flops={self.compute_amount}, "
+                f"bytes={self.data_size})")

@@ -1,0 +1,32 @@
+"""A packet-level network simulator (the NS2 / GTNetS stand-in).
+
+The paper's validation experiment compares SimGrid's fluid MaxMin model to
+the NS2 and GTNetS packet-level simulators.  Those are external C++
+projects, so this package provides a from-scratch packet-level simulator
+with the ingredients that matter for the comparison:
+
+* store-and-forward links with finite drop-tail queues, serialisation time
+  and propagation latency (:mod:`repro.packet.nic`);
+* per-flow TCP Reno congestion control — slow start, congestion avoidance,
+  duplicate-ACK fast retransmit, retransmission timeouts
+  (:mod:`repro.packet.tcp`);
+* a :class:`~repro.packet.simulator.PacketSimulator` facade that consumes
+  the very same :class:`~repro.platform.platform.Platform` and flow list as
+  the fluid model, so experiment E1 runs both on identical inputs.
+"""
+
+from repro.packet.event_queue import EventQueue
+from repro.packet.nic import DropTailQueue, PacketLink
+from repro.packet.simulator import FlowResult, FlowSpec, PacketSimulator
+from repro.packet.tcp import TcpFlow, TcpConfig
+
+__all__ = [
+    "DropTailQueue",
+    "EventQueue",
+    "FlowResult",
+    "FlowSpec",
+    "PacketLink",
+    "PacketSimulator",
+    "TcpConfig",
+    "TcpFlow",
+]

@@ -1,0 +1,182 @@
+"""Ready-made platform topologies.
+
+The paper motivates SimGrid with a list of target applications, each tied to
+a platform class: *a commodity cluster*, *a network of workstations*, *a
+multi-site high-end grid platform*, *a wide-area network*, *volatile
+Internet hosts*.  These factory functions build representative instances of
+those platform classes so examples, tests and benchmarks don't re-invent
+them.
+
+All bandwidths are in bytes/s, latencies in seconds, speeds in flop/s.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.platform.platform import Platform
+
+__all__ = ["make_cluster", "make_star", "make_dumbbell", "make_two_site_grid",
+           "make_client_server_lan"]
+
+
+def make_cluster(num_hosts: int = 8,
+                 host_speed: float = 1e9,
+                 link_bandwidth: float = 125e6,
+                 link_latency: float = 50e-6,
+                 backbone_bandwidth: float = 1.25e9,
+                 backbone_latency: float = 500e-6,
+                 prefix: str = "node",
+                 name: str = "cluster") -> Platform:
+    """A commodity cluster: hosts behind private links and a shared backbone.
+
+    Every host ``node-<i>`` has a private up/down link to the cluster
+    backbone; a transfer between two hosts crosses ``link-src``, the
+    backbone, and ``link-dst`` — the classic SimGrid cluster model.
+    """
+    if num_hosts < 1:
+        raise ValueError("a cluster needs at least one host")
+    platform = Platform(name)
+    switch = platform.add_router(f"{prefix}-switch")
+    platform.add_link("backbone", backbone_bandwidth, backbone_latency,
+                      shared=True)
+    for i in range(num_hosts):
+        host = platform.add_host(f"{prefix}-{i}", host_speed)
+        link = platform.add_link(f"{prefix}-link-{i}", link_bandwidth,
+                                 link_latency)
+        platform.connect(host.name, switch, link.name)
+    # route through private link + backbone + private link: encode the
+    # backbone by inserting it as an edge from the switch to itself is not
+    # possible, so declare explicit routes instead.
+    for i in range(num_hosts):
+        for j in range(num_hosts):
+            if i == j:
+                continue
+            platform.add_route(f"{prefix}-{i}", f"{prefix}-{j}",
+                               [f"{prefix}-link-{i}", "backbone",
+                                f"{prefix}-link-{j}"],
+                               symmetric=False)
+    return platform
+
+
+def make_star(num_hosts: int = 5,
+              host_speed: float = 1e9,
+              link_bandwidth: float = 1.25e7,
+              link_latency: float = 5e-3,
+              center_name: str = "center",
+              prefix: str = "leaf",
+              name: str = "star") -> Platform:
+    """A network of workstations: leaves around a central host.
+
+    The centre is itself a host (e.g. the master of a master/worker
+    application); each leaf is connected by its own link.
+    """
+    if num_hosts < 1:
+        raise ValueError("a star needs at least one leaf")
+    platform = Platform(name)
+    platform.add_host(center_name, host_speed)
+    for i in range(num_hosts):
+        leaf = platform.add_host(f"{prefix}-{i}", host_speed)
+        link = platform.add_link(f"{prefix}-link-{i}", link_bandwidth,
+                                 link_latency)
+        platform.connect(leaf.name, center_name, link.name)
+    return platform
+
+
+def make_dumbbell(num_left: int = 3, num_right: int = 3,
+                  host_speed: float = 1e9,
+                  edge_bandwidth: float = 125e6,
+                  edge_latency: float = 1e-3,
+                  bottleneck_bandwidth: float = 12.5e6,
+                  bottleneck_latency: float = 10e-3,
+                  name: str = "dumbbell") -> Platform:
+    """The classic dumbbell: two access trees around one bottleneck link.
+
+    This is the canonical topology for studying how concurrent TCP flows
+    share a bottleneck — the resource-sharing scenario of the SURF panel.
+    """
+    platform = Platform(name)
+    left_router = platform.add_router("router-left")
+    right_router = platform.add_router("router-right")
+    platform.add_link("bottleneck", bottleneck_bandwidth, bottleneck_latency)
+    platform.connect(left_router, right_router, "bottleneck")
+    for i in range(num_left):
+        host = platform.add_host(f"left-{i}", host_speed)
+        link = platform.add_link(f"left-link-{i}", edge_bandwidth, edge_latency)
+        platform.connect(host.name, left_router, link.name)
+    for i in range(num_right):
+        host = platform.add_host(f"right-{i}", host_speed)
+        link = platform.add_link(f"right-link-{i}", edge_bandwidth,
+                                 edge_latency)
+        platform.connect(host.name, right_router, link.name)
+    return platform
+
+
+def make_two_site_grid(hosts_per_site: int = 4,
+                       host_speed: float = 2e9,
+                       lan_bandwidth: float = 125e6,
+                       lan_latency: float = 100e-6,
+                       wan_bandwidth: float = 12.5e6,
+                       wan_latency: float = 50e-3,
+                       name: str = "grid") -> Platform:
+    """A multi-site grid: two clusters joined by a wide-area link.
+
+    Models the paper's "scientific simulation running on a multi-site
+    high-end grid platform" and the California–France WAN of the GRAS
+    experiment (default one-way latency of 50 ms).
+    """
+    platform = Platform(name)
+    routers = []
+    for site_idx, site in enumerate(("siteA", "siteB")):
+        router = platform.add_router(f"{site}-router")
+        routers.append(router)
+        for i in range(hosts_per_site):
+            host = platform.add_host(f"{site}-{i}", host_speed)
+            link = platform.add_link(f"{site}-link-{i}", lan_bandwidth,
+                                     lan_latency)
+            platform.connect(host.name, router, link.name)
+    platform.add_link("wan", wan_bandwidth, wan_latency)
+    platform.connect(routers[0], routers[1], "wan")
+    return platform
+
+
+def make_client_server_lan(num_clients: int = 3, num_servers: int = 2,
+                           client_speed: float = 5e8,
+                           server_speed: float = 2e9,
+                           hub_bandwidth: float = 1.25e6,
+                           hub_latency: float = 1e-4,
+                           uplink_bandwidth: float = 1.25e7,
+                           uplink_latency: float = 5e-4,
+                           internet_bandwidth: float = 6.25e5,
+                           internet_latency: float = 2e-2,
+                           name: str = "client-server") -> Platform:
+    """The hub/switch/router/Internet topology of the paper's Gantt figure.
+
+    Clients sit behind a shared hub; the hub reaches a switch, the switch a
+    router, and the router crosses the Internet to reach the servers.  The
+    concurrent client flows share the hub and Internet links, which is what
+    produces the interference visible in the Gantt chart (experiment E4).
+    """
+    platform = Platform(name)
+    hub = platform.add_router("hub")
+    switch = platform.add_router("switch")
+    router = platform.add_router("router")
+    server_router = platform.add_router("server-router")
+
+    platform.add_link("hub-switch", hub_bandwidth, hub_latency)
+    platform.connect(hub, switch, "hub-switch")
+    platform.add_link("switch-router", uplink_bandwidth, uplink_latency)
+    platform.connect(switch, router, "switch-router")
+    platform.add_link("internet", internet_bandwidth, internet_latency)
+    platform.connect(router, server_router, "internet")
+
+    for i in range(num_clients):
+        host = platform.add_host(f"client-{i}", client_speed)
+        link = platform.add_link(f"client-link-{i}", hub_bandwidth, hub_latency)
+        platform.connect(host.name, hub, link.name)
+    for i in range(num_servers):
+        host = platform.add_host(f"server-{i}", server_speed)
+        link = platform.add_link(f"server-link-{i}", uplink_bandwidth,
+                                 uplink_latency)
+        platform.connect(host.name, server_router, link.name)
+    return platform

@@ -1,0 +1,302 @@
+"""The virtual platform: hosts, links, routes, and their realization in SURF.
+
+The platform supports the two routing schemes needed by the paper's
+experiments:
+
+* **explicit (full) routing** — a route (ordered list of links) is declared
+  for each pair of endpoints, like SimGrid platform files do;
+* **graph (shortest-path) routing** — links are edges of a graph whose
+  vertices are hosts and routers; routes are computed on demand by Dijkstra
+  on the link latencies.  This is what the BRITE-generated random topologies
+  of the validation experiment use.
+
+Both can be mixed: explicit routes take precedence, the graph is the
+fallback.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import NoRouteError, PlatformError
+from repro.surf.cpu import CpuResource
+from repro.surf.engine import SurfEngine
+from repro.surf.network import LinkResource
+from repro.surf.trace import Trace
+
+__all__ = ["HostSpec", "LinkSpec", "RouteSpec", "Platform", "RealizedHost"]
+
+
+@dataclass
+class HostSpec:
+    """Description of one host (a machine with a CPU)."""
+
+    name: str
+    speed: float                      # flop/s
+    cores: int = 1
+    availability_trace: Optional[Trace] = None
+    state_trace: Optional[Trace] = None
+    properties: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise PlatformError(f"host {self.name!r}: speed must be > 0")
+        if self.cores < 1:
+            raise PlatformError(f"host {self.name!r}: cores must be >= 1")
+
+
+@dataclass
+class LinkSpec:
+    """Description of one network link."""
+
+    name: str
+    bandwidth: float                  # byte/s
+    latency: float = 0.0              # seconds
+    shared: bool = True
+    bandwidth_trace: Optional[Trace] = None
+    state_trace: Optional[Trace] = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise PlatformError(f"link {self.name!r}: bandwidth must be > 0")
+        if self.latency < 0:
+            raise PlatformError(f"link {self.name!r}: latency must be >= 0")
+
+
+@dataclass
+class RouteSpec:
+    """An explicit route between two endpoints (hosts or routers)."""
+
+    src: str
+    dst: str
+    links: List[str]
+    symmetric: bool = True
+
+
+@dataclass
+class RealizedHost:
+    """A host bound to its SURF CPU resource after :meth:`Platform.realize`."""
+
+    spec: HostSpec
+    cpu: CpuResource
+
+
+class Platform:
+    """A complete platform description plus (after realization) its resources."""
+
+    def __init__(self, name: str = "platform") -> None:
+        self.name = name
+        self.hosts: Dict[str, HostSpec] = {}
+        self.routers: Dict[str, str] = {}            # name -> name (a set, really)
+        self.links: Dict[str, LinkSpec] = {}
+        self.routes: Dict[Tuple[str, str], RouteSpec] = {}
+        # graph routing: adjacency  node -> list of (neighbour, link_name)
+        self.adjacency: Dict[str, List[Tuple[str, str]]] = {}
+        # realization state
+        self._realized = False
+        self.engine: Optional[SurfEngine] = None
+        self.cpu_by_host: Dict[str, CpuResource] = {}
+        self.link_by_name: Dict[str, LinkResource] = {}
+        self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+
+    # -- description ------------------------------------------------------------
+    def add_host(self, name: str, speed: float, cores: int = 1,
+                 availability_trace: Optional[Trace] = None,
+                 state_trace: Optional[Trace] = None,
+                 properties: Optional[Dict[str, str]] = None) -> HostSpec:
+        """Declare a host.  ``speed`` is in flop/s."""
+        self._check_not_realized()
+        if name in self.hosts or name in self.routers:
+            raise PlatformError(f"duplicate node name {name!r}")
+        spec = HostSpec(name, speed, cores, availability_trace, state_trace,
+                        dict(properties or {}))
+        self.hosts[name] = spec
+        return spec
+
+    def add_router(self, name: str) -> str:
+        """Declare a router: a routing-only node without a CPU."""
+        self._check_not_realized()
+        if name in self.hosts or name in self.routers:
+            raise PlatformError(f"duplicate node name {name!r}")
+        self.routers[name] = name
+        return name
+
+    def add_link(self, name: str, bandwidth: float, latency: float = 0.0,
+                 shared: bool = True,
+                 bandwidth_trace: Optional[Trace] = None,
+                 state_trace: Optional[Trace] = None) -> LinkSpec:
+        """Declare a link.  ``bandwidth`` is in byte/s, ``latency`` in s."""
+        self._check_not_realized()
+        if name in self.links:
+            raise PlatformError(f"duplicate link name {name!r}")
+        spec = LinkSpec(name, bandwidth, latency, shared,
+                        bandwidth_trace, state_trace)
+        self.links[name] = spec
+        return spec
+
+    def add_route(self, src: str, dst: str, links: Sequence[str],
+                  symmetric: bool = True) -> RouteSpec:
+        """Declare an explicit route between two nodes."""
+        self._check_not_realized()
+        self._check_node(src)
+        self._check_node(dst)
+        for link in links:
+            if link not in self.links:
+                raise PlatformError(f"route {src}->{dst}: unknown link {link!r}")
+        spec = RouteSpec(src, dst, list(links), symmetric)
+        self.routes[(src, dst)] = spec
+        if symmetric:
+            self.routes.setdefault((dst, src),
+                                   RouteSpec(dst, src, list(reversed(links)),
+                                             symmetric))
+        return spec
+
+    def connect(self, node_a: str, node_b: str, link_name: str) -> None:
+        """Declare a graph edge: ``link_name`` joins ``node_a`` and ``node_b``.
+
+        Routes between nodes without an explicit route are computed with
+        Dijkstra over these edges.
+        """
+        self._check_not_realized()
+        self._check_node(node_a)
+        self._check_node(node_b)
+        if link_name not in self.links:
+            raise PlatformError(f"unknown link {link_name!r}")
+        self.adjacency.setdefault(node_a, []).append((node_b, link_name))
+        self.adjacency.setdefault(node_b, []).append((node_a, link_name))
+
+    def _check_node(self, name: str) -> None:
+        if name not in self.hosts and name not in self.routers:
+            raise PlatformError(f"unknown node {name!r}")
+
+    def _check_not_realized(self) -> None:
+        if self._realized:
+            raise PlatformError(
+                "the platform was already realized; describe it fully first")
+
+    # -- routing ------------------------------------------------------------------
+    def route_links(self, src: str, dst: str) -> List[str]:
+        """Ordered link names of the route from ``src`` to ``dst``.
+
+        An explicit route wins; otherwise a shortest path (by latency, with
+        hop count as tie-breaker) is computed over the graph edges.  A
+        loopback route (``src == dst``) is the empty list.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return []
+        key = (src, dst)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        if key in self.routes:
+            links = list(self.routes[key].links)
+        else:
+            links = self._dijkstra(src, dst)
+        self._route_cache[key] = links
+        return links
+
+    def _dijkstra(self, src: str, dst: str) -> List[str]:
+        if src not in self.adjacency:
+            raise NoRouteError(f"no route from {src!r} to {dst!r}")
+        dist: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, Tuple[str, str]] = {}
+        heap: List[Tuple[float, int, str]] = [(0.0, 0, src)]
+        counter = 1
+        visited = set()
+        while heap:
+            d, _, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for neighbour, link_name in self.adjacency.get(node, []):
+                link = self.links[link_name]
+                # latency as primary weight; tiny epsilon so hop count breaks ties
+                weight = link.latency + 1e-9
+                nd = d + weight
+                if neighbour not in dist or nd < dist[neighbour] - 1e-15:
+                    dist[neighbour] = nd
+                    prev[neighbour] = (node, link_name)
+                    heapq.heappush(heap, (nd, counter, neighbour))
+                    counter += 1
+        if dst not in prev and dst != src:
+            raise NoRouteError(f"no route from {src!r} to {dst!r}")
+        # reconstruct
+        path: List[str] = []
+        node = dst
+        while node != src:
+            parent, link_name = prev[node]
+            path.append(link_name)
+            node = parent
+        path.reverse()
+        return path
+
+    def route_latency(self, src: str, dst: str) -> float:
+        """Sum of the latencies along the route from ``src`` to ``dst``."""
+        return sum(self.links[name].latency for name in self.route_links(src, dst))
+
+    # -- realization -----------------------------------------------------------------
+    def realize(self, engine: Optional[SurfEngine] = None) -> SurfEngine:
+        """Instantiate every host CPU and link inside a SURF engine.
+
+        Returns the engine (creating a fresh one when none is supplied).
+        Realization may only happen once per Platform instance.
+        """
+        if self._realized:
+            raise PlatformError("platform already realized")
+        engine = engine or SurfEngine()
+        for spec in self.hosts.values():
+            cpu = engine.cpu_model.add_cpu(
+                spec.name, spec.speed, spec.cores,
+                availability_trace=spec.availability_trace,
+                state_trace=spec.state_trace)
+            engine.register_resource_traces(cpu)
+            self.cpu_by_host[spec.name] = cpu
+        for spec in self.links.values():
+            link = engine.network_model.add_link(
+                spec.name, spec.bandwidth, spec.latency, spec.shared,
+                bandwidth_trace=spec.bandwidth_trace,
+                state_trace=spec.state_trace)
+            engine.register_resource_traces(link)
+            self.link_by_name[spec.name] = link
+        self.engine = engine
+        self._realized = True
+        return engine
+
+    @property
+    def realized(self) -> bool:
+        """Whether :meth:`realize` has been called."""
+        return self._realized
+
+    def route_resources(self, src: str, dst: str) -> List[LinkResource]:
+        """The realized :class:`LinkResource` objects along a route."""
+        if not self._realized:
+            raise PlatformError("platform not realized yet")
+        return [self.link_by_name[name] for name in self.route_links(src, dst)]
+
+    def cpu_of(self, host_name: str) -> CpuResource:
+        """The realized CPU of a host."""
+        if not self._realized:
+            raise PlatformError("platform not realized yet")
+        try:
+            return self.cpu_by_host[host_name]
+        except KeyError:
+            raise PlatformError(f"unknown host {host_name!r}") from None
+
+    # -- introspection ------------------------------------------------------------------
+    def host_names(self) -> List[str]:
+        """Sorted list of host names."""
+        return sorted(self.hosts)
+
+    def link_names(self) -> List[str]:
+        """Sorted list of link names."""
+        return sorted(self.links)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Platform(name={self.name!r}, hosts={len(self.hosts)}, "
+                f"routers={len(self.routers)}, links={len(self.links)})")

@@ -1,0 +1,58 @@
+"""SMPI — simulation of MPI applications (paper section "SMPI").
+
+SMPI lets an existing MPI application be simulated on an arbitrary
+(heterogeneous) platform: *"Automatic (but directed) benchmarking of
+communication and computation costs during an application execution on an
+homogeneous platform; easy simulation of the application on a heterogeneous
+platform; no code modification required beyond inserting benchmarking
+commands."*
+
+Usage::
+
+    from repro.platform import make_cluster
+    from repro.smpi import SmpiWorld
+
+    def my_mpi_program(mpi):
+        comm = mpi.COMM_WORLD
+        if comm.rank == 0:
+            comm.send([1, 2, 3], dest=1, tag=7)
+        elif comm.rank == 1:
+            data = comm.recv(source=0, tag=7)
+
+    world = SmpiWorld(make_cluster(num_hosts=4), num_ranks=4)
+    world.run(my_mpi_program)
+
+Rank functions are plain blocking code (thread contexts), exactly like real
+MPI ranks; the simulated clock is read with ``mpi.wtime()``.
+"""
+
+from repro.smpi.api import Smpi, SmpiWorld
+from repro.smpi.comm import ANY_SOURCE, ANY_TAG, Communicator, Request, Status
+from repro.smpi.datatypes import (
+    MPI_BYTE,
+    MPI_CHAR,
+    MPI_DOUBLE,
+    MPI_FLOAT,
+    MPI_INT,
+    MPI_LONG,
+    Datatype,
+    payload_size,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Datatype",
+    "MPI_BYTE",
+    "MPI_CHAR",
+    "MPI_DOUBLE",
+    "MPI_FLOAT",
+    "MPI_INT",
+    "MPI_LONG",
+    "Request",
+    "Smpi",
+    "SmpiWorld",
+    "Status",
+    "payload_size",
+]

@@ -1,0 +1,99 @@
+"""The SMPI entry point: deploy an MPI-style program on a simulated platform.
+
+:class:`SmpiWorld` creates one simulated process per MPI rank (each on its
+own host, cycling through the platform's hosts when there are more ranks
+than hosts) and hands every rank an :class:`Smpi` facade exposing
+``COMM_WORLD``, ``wtime`` and the benchmarking sampler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import MpiError
+from repro.msg.environment import Environment
+from repro.msg.process import Process
+from repro.platform.platform import Platform
+from repro.smpi.bench import SmpiSampler
+from repro.smpi.comm import Communicator
+
+__all__ = ["Smpi", "SmpiWorld"]
+
+_world_ids = itertools.count(0)
+
+
+class Smpi:
+    """Per-rank MPI facade handed to the user's rank function."""
+
+    def __init__(self, world: "SmpiWorld", rank: int, process: Process) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.num_ranks
+        self.process = process
+        self.COMM_WORLD = Communicator(self, world.comm_id, rank, world.num_ranks,
+                                       process)
+        self.sampler = SmpiSampler(process,
+                                   reference_speed=world.reference_speed)
+
+    def wtime(self) -> float:
+        """Simulated time, like ``MPI_Wtime``."""
+        return self.process.now
+
+    @property
+    def host_name(self) -> str:
+        """Name of the (simulated) host this rank runs on."""
+        return self.process.host.name
+
+    def compute(self, flops: float) -> None:
+        """Charge ``flops`` of local computation to this rank."""
+        self.sampler.charge_flops(flops)
+
+
+class SmpiWorld:
+    """Deploys an MPI program over the hosts of a platform."""
+
+    def __init__(self, platform: Platform, num_ranks: int,
+                 hosts: Optional[Sequence[str]] = None,
+                 reference_speed: Optional[float] = None,
+                 recorder=None) -> None:
+        if num_ranks < 1:
+            raise MpiError("need at least one rank")
+        self.platform = platform
+        self.num_ranks = num_ranks
+        self.comm_id = next(_world_ids)
+        self.reference_speed = reference_speed
+        self.env = Environment(platform, context_factory="thread",
+                               recorder=recorder)
+        host_names = list(hosts) if hosts is not None else platform.host_names()
+        if not host_names:
+            raise MpiError("the platform has no host")
+        #: Host assigned to each rank (round-robin when ranks > hosts).
+        self.rank_hosts: List[str] = [
+            host_names[rank % len(host_names)] for rank in range(num_ranks)
+        ]
+        self.ranks: Dict[int, Smpi] = {}
+
+    def run(self, func: Callable, *args,
+            until: Optional[float] = None, **kwargs) -> float:
+        """Run ``func(mpi, *args)`` on every rank; returns the simulated time.
+
+        ``func`` is the MPI program: it is called once per rank with that
+        rank's :class:`Smpi` facade as first argument (plain blocking code,
+        no ``yield``).
+        """
+        world = self
+
+        def body(process: Process, rank: int):
+            mpi = Smpi(world, rank, process)
+            world.ranks[rank] = mpi
+            func(mpi, *args, **kwargs)
+
+        for rank in range(self.num_ranks):
+            self.env.create_process(f"rank-{rank}", self.rank_hosts[rank],
+                                    body, rank)
+        return self.env.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.env.now

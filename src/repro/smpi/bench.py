@@ -1,0 +1,79 @@
+"""SMPI benchmarking macros (``SMPI_BENCH_ONCE_RUN_ONCE_BEGIN/END``).
+
+The paper's SMPI panel inserts benchmarking commands around the expensive
+local kernel (the CBLAS ``dgemm`` call) so that:
+
+* when the application is *benchmarked* on a homogeneous platform, the
+  block really runs and its duration is recorded;
+* when the application is *simulated* (possibly on a heterogeneous
+  platform), the block is skipped and the recorded duration — scaled by the
+  relative speed of the simulated host — is injected as simulated
+  computation.
+
+:class:`SmpiSampler` implements that policy on top of
+:class:`repro.gras.bench.BenchRecorder` (the same mechanism GRAS uses).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator, Optional
+
+from repro.gras.bench import BenchRecorder
+from repro.msg.process import Process
+
+__all__ = ["SmpiSampler"]
+
+
+class SmpiSampler:
+    """Per-rank sampling helper injected in rank code as ``mpi.sampler``."""
+
+    def __init__(self, process: Process,
+                 reference_speed: Optional[float] = None) -> None:
+        self._process = process
+        self.recorder = BenchRecorder()
+        #: Speed (flop/s) of the machine the real measurements were taken
+        #: on.  Defaults to the simulated host's own speed, meaning "the
+        #: benchmark ran on this very machine".
+        self.reference_speed = reference_speed or process.host.speed
+
+    @contextlib.contextmanager
+    def bench_once(self, key: str) -> Iterator[bool]:
+        """Run the block for real only the first time; always charge it.
+
+        Yields ``True`` when the block must actually execute.  The charged
+        simulated duration is ``measured_time * reference_speed /
+        host_speed``, which is how SMPI lets a measurement taken on a
+        homogeneous platform drive the simulation of a heterogeneous one.
+        """
+        should_run = not self.recorder.has(key)
+        start = time.perf_counter()
+        try:
+            yield should_run
+        finally:
+            if should_run:
+                self.recorder.record(key, time.perf_counter() - start)
+            self._charge(self.recorder.duration_of(key))
+
+    @contextlib.contextmanager
+    def bench_always(self, key: str) -> Iterator[None]:
+        """Run and measure the block every time (``SMPI_BENCH_ALWAYS``)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self.recorder.record(key, duration)
+            self._charge(duration)
+
+    def charge_flops(self, flops: float) -> None:
+        """Directly charge a known amount of computation to this rank."""
+        if flops > 0:
+            self._process.execute(flops, name="smpi-kernel")
+
+    def _charge(self, duration: float) -> None:
+        if duration <= 0:
+            return
+        flops = duration * self.reference_speed
+        self._process.execute(flops, name="smpi-bench")

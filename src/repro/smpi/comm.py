@@ -1,0 +1,217 @@
+"""Communicators, point-to-point messaging and requests.
+
+Point-to-point semantics follow SMPI's *eager* protocol: ``send`` deposits
+the message (the transfer is simulated asynchronously on the sender side)
+while ``recv`` blocks until the matching message has fully arrived, so the
+simulated completion time of a receive includes the network transfer
+simulated by SURF.  Matching honours ``source``/``tag`` with the usual
+``ANY_SOURCE`` / ``ANY_TAG`` wildcards and an unexpected-message queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.exceptions import MpiError, SimTimeoutError
+from repro.msg.process import Process
+from repro.msg.task import Task
+from repro.smpi.datatypes import Datatype, payload_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smpi.api import Smpi
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status", "Request", "Communicator"]
+
+#: Wildcards, as in MPI.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_comm_ids = itertools.count(0)
+
+
+@dataclass
+class Status:
+    """Receive status: who sent the matched message, with which tag."""
+
+    source: int
+    tag: int
+    size: float
+
+
+@dataclass
+class _Envelope:
+    """One SMPI message as carried by an MSG task payload."""
+
+    source: int
+    dest: int
+    tag: int
+    value: Any
+    size: float
+
+
+@dataclass
+class Request:
+    """Handle on a non-blocking operation (``isend`` / ``irecv``)."""
+
+    kind: str                       # "send" or "recv"
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    value: Any = None
+    status: Optional[Status] = None
+    completed: bool = False
+
+
+class Communicator:
+    """An MPI communicator bound to one rank's view of the world.
+
+    Each rank gets its own :class:`Communicator` instance (same ``comm_id``,
+    different ``rank``), which is how real MPI programs experience
+    ``MPI_COMM_WORLD``.
+    """
+
+    def __init__(self, smpi: "Smpi", comm_id: int, rank: int, size: int,
+                 process: Process) -> None:
+        self._smpi = smpi
+        self.id = comm_id
+        self.rank = rank
+        self.size = size
+        self._process = process
+        #: Messages received from the mailbox but not yet matched.
+        self._unexpected: List[_Envelope] = []
+
+    # -- helpers ------------------------------------------------------------------------
+    def _mailbox(self, rank: int) -> str:
+        return f"smpi:{self.id}:{rank}"
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not (0 <= rank < self.size):
+            raise MpiError(f"{what} rank {rank} out of range 0..{self.size - 1}")
+
+    # -- point-to-point --------------------------------------------------------------------
+    def send(self, value: Any, dest: int, tag: int = 0,
+             count: Optional[int] = None,
+             datatype: Optional[Datatype] = None) -> None:
+        """Standard-mode send (eager: returns once the message is deposited)."""
+        self._check_rank(dest, "destination")
+        size = payload_size(value, count, datatype)
+        envelope = _Envelope(source=self.rank, dest=dest, tag=tag,
+                             value=value, size=size)
+        task = Task(f"smpi:{self.rank}->{dest}:{tag}", data_size=size,
+                    payload=envelope)
+        self._process.dsend(task, self._mailbox(dest))
+
+    def isend(self, value: Any, dest: int, tag: int = 0,
+              count: Optional[int] = None,
+              datatype: Optional[Datatype] = None) -> Request:
+        """Non-blocking send; the returned request is already complete."""
+        self.send(value, dest, tag, count, datatype)
+        return Request(kind="send", source=self.rank, tag=tag, completed=True)
+
+    def _matches(self, envelope: _Envelope, source: int, tag: int) -> bool:
+        if source != ANY_SOURCE and envelope.source != source:
+            return False
+        if tag != ANY_TAG and envelope.tag != tag:
+            return False
+        return True
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: Optional[float] = None,
+             return_status: bool = False):
+        """Blocking receive; returns the value (or ``(value, status)``)."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        # 1. look in the unexpected queue
+        for idx, envelope in enumerate(self._unexpected):
+            if self._matches(envelope, source, tag):
+                self._unexpected.pop(idx)
+                return self._deliver(envelope, return_status)
+        # 2. pull from the mailbox until a matching message arrives
+        while True:
+            task = self._process.receive(self._mailbox(self.rank),
+                                         timeout=timeout)
+            envelope: _Envelope = task.payload
+            if self._matches(envelope, source, tag):
+                return self._deliver(envelope, return_status)
+            self._unexpected.append(envelope)
+
+    def _deliver(self, envelope: _Envelope, return_status: bool):
+        status = Status(source=envelope.source, tag=envelope.tag,
+                        size=envelope.size)
+        if return_status:
+            return envelope.value, status
+        return envelope.value
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive request (completed by :meth:`wait`)."""
+        return Request(kind="recv", source=source, tag=tag)
+
+    def wait(self, request: Request, timeout: Optional[float] = None) -> Any:
+        """Complete a request; returns the received value for receives."""
+        if request.completed:
+            return request.value
+        if request.kind == "recv":
+            value, status = self.recv(request.source, request.tag,
+                                      timeout=timeout, return_status=True)
+            request.value = value
+            request.status = status
+            request.completed = True
+            return value
+        request.completed = True
+        return None
+
+    def waitall(self, requests: List[Request]) -> List[Any]:
+        """Complete every request, in order."""
+        return [self.wait(request) for request in requests]
+
+    def sendrecv(self, send_value: Any, dest: int, source: int,
+                 send_tag: int = 0, recv_tag: int = 0) -> Any:
+        """Combined send + receive (deadlock-free)."""
+        self.send(send_value, dest, tag=send_tag)
+        return self.recv(source=source, tag=recv_tag)
+
+    def probe_unexpected(self) -> int:
+        """Number of buffered unexpected messages (introspection for tests)."""
+        return len(self._unexpected)
+
+    # -- collectives (implemented in repro.smpi.collectives) ------------------------------------
+    def barrier(self) -> None:
+        from repro.smpi import collectives
+        collectives.barrier(self)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        from repro.smpi import collectives
+        return collectives.bcast(self, value, root)
+
+    def reduce(self, value: Any, op=None, root: int = 0) -> Any:
+        from repro.smpi import collectives
+        return collectives.reduce(self, value, op, root)
+
+    def allreduce(self, value: Any, op=None) -> Any:
+        from repro.smpi import collectives
+        return collectives.allreduce(self, value, op)
+
+    def gather(self, value: Any, root: int = 0) -> Optional[List[Any]]:
+        from repro.smpi import collectives
+        return collectives.gather(self, value, root)
+
+    def allgather(self, value: Any) -> List[Any]:
+        from repro.smpi import collectives
+        return collectives.allgather(self, value)
+
+    def scatter(self, values: Optional[List[Any]], root: int = 0) -> Any:
+        from repro.smpi import collectives
+        return collectives.scatter(self, values, root)
+
+    def alltoall(self, values: List[Any]) -> List[Any]:
+        from repro.smpi import collectives
+        return collectives.alltoall(self, values)
+
+    # -- misc -----------------------------------------------------------------------------------
+    def wtime(self) -> float:
+        """Simulated time (``MPI_Wtime``)."""
+        return self._process.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator(id={self.id}, rank={self.rank}, size={self.size})"

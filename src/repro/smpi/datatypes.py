@@ -1,0 +1,63 @@
+"""MPI datatypes and payload sizing.
+
+SMPI needs to know how many bytes a message occupies on the (simulated)
+wire.  Messages can be sized three ways, in decreasing priority:
+
+1. an explicit ``count``/``datatype`` pair, like a real MPI call;
+2. the natural size of the payload (NumPy arrays expose ``nbytes``,
+   ``bytes`` expose ``len``);
+3. a conservative pickle-based estimate for arbitrary Python objects.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["Datatype", "MPI_BYTE", "MPI_CHAR", "MPI_INT", "MPI_LONG",
+           "MPI_FLOAT", "MPI_DOUBLE", "payload_size"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype: a name and a size in bytes."""
+
+    name: str
+    size: int
+
+    def extent(self, count: int) -> int:
+        """Bytes occupied by ``count`` elements."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return self.size * count
+
+
+MPI_BYTE = Datatype("MPI_BYTE", 1)
+MPI_CHAR = Datatype("MPI_CHAR", 1)
+MPI_INT = Datatype("MPI_INT", 4)
+MPI_LONG = Datatype("MPI_LONG", 8)
+MPI_FLOAT = Datatype("MPI_FLOAT", 4)
+MPI_DOUBLE = Datatype("MPI_DOUBLE", 8)
+
+
+def payload_size(value: Any, count: Optional[int] = None,
+                 datatype: Optional[Datatype] = None) -> float:
+    """Best-effort size in bytes of a message payload."""
+    if count is not None and datatype is not None:
+        return float(datatype.extent(count))
+    if value is None:
+        return 0.0
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return float(nbytes)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return float(len(value))
+    if isinstance(value, str):
+        return float(len(value.encode("utf-8")))
+    if isinstance(value, (int, float)):
+        return 8.0
+    try:
+        return float(len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)))
+    except Exception:  # pragma: no cover - unpicklable exotic objects
+        return 64.0

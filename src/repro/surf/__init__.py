@@ -1,0 +1,50 @@
+"""SURF — the virtual-platform simulation kernel (paper section "SURF").
+
+SURF is the lowest layer of the SimGrid stack: it simulates the *platform*
+(CPUs, network links, multi-hop routes) using a fluid model in which every
+running activity (a computation or a data transfer) receives a share of the
+capacity of the resources it uses.  Shares are computed with the unifying
+**MaxMin fairness** model described in the paper: allocate capacity to all
+tasks so as to maximise the minimum allocation over all tasks.
+
+Public entry points:
+
+* :class:`repro.surf.lmm.MaxMinSystem` — the Linear MaxMin solver;
+* :class:`repro.surf.cpu.CpuModel` and :class:`repro.surf.network.NetworkModel`
+  — the resource models built on top of it;
+* :class:`repro.surf.engine.SurfEngine` — the time-advancing loop;
+* :class:`repro.surf.trace.Trace` — trace-driven availability and failures.
+"""
+
+from repro.surf.action import Action, ActionState
+from repro.surf.cpu import CpuModel, CpuResource, CpuAction
+from repro.surf.engine import SurfEngine
+from repro.surf.lmm import MaxMinSystem, Variable, Constraint
+from repro.surf.network import (
+    LinkResource,
+    NetworkAction,
+    NetworkModel,
+    NetworkModelConfig,
+)
+from repro.surf.resource import Resource
+from repro.surf.trace import Trace, TraceEvent, TraceKind
+
+__all__ = [
+    "Action",
+    "ActionState",
+    "Constraint",
+    "CpuAction",
+    "CpuModel",
+    "CpuResource",
+    "LinkResource",
+    "MaxMinSystem",
+    "NetworkAction",
+    "NetworkModel",
+    "NetworkModelConfig",
+    "Resource",
+    "SurfEngine",
+    "Trace",
+    "TraceEvent",
+    "TraceKind",
+    "Variable",
+]

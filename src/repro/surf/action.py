@@ -1,0 +1,173 @@
+"""Actions: the unit of work simulated by a SURF model.
+
+An :class:`Action` is either a computation (``CpuAction``) or a data
+transfer (``NetworkAction``).  It carries a total *cost* (flops or bytes), a
+*remaining* amount, and is tied to one LMM :class:`~repro.surf.lmm.Variable`
+whose solved value is the instantaneous rate the action progresses at.
+
+The state machine matches SimGrid's::
+
+    RUNNING --> DONE        (remaining reached 0)
+            --> FAILED      (a resource it uses was turned off)
+            --> CANCELLED   (explicitly cancelled by the application)
+
+Suspension is not a separate state: a suspended action stays RUNNING with a
+sharing weight of zero, so it simply receives no capacity until resumed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.surf.lmm import Variable
+
+__all__ = ["Action", "ActionState"]
+
+
+class ActionState(enum.Enum):
+    """Lifecycle states of an action."""
+
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class Action:
+    """Base class for everything that consumes simulated resources.
+
+    Parameters
+    ----------
+    model:
+        The owning model (CpuModel or NetworkModel); may be ``None`` in unit
+        tests exercising the state machine alone.
+    cost:
+        Total amount of work (flops for computations, bytes for transfers).
+    priority:
+        Sharing weight passed to the LMM system.  Higher priority actions
+        receive a proportionally larger share of contended resources.
+    """
+
+    def __init__(self, model, cost: float, priority: float = 1.0) -> None:
+        if cost < 0:
+            raise ValueError("action cost must be >= 0")
+        if priority < 0:
+            raise ValueError("action priority must be >= 0")
+        self.model = model
+        self.cost = float(cost)
+        self.remaining = float(cost)
+        self.priority = float(priority)
+        self.state = ActionState.RUNNING
+        self.variable: Optional[Variable] = None
+        self.start_time: float = 0.0
+        self.finish_time: Optional[float] = None
+        self.data = None          # opaque back-pointer (activity, simcall...)
+        self._suspended = False
+        self.bound: Optional[float] = None
+
+    # -- rate -------------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Instantaneous progress rate from the last LMM solve."""
+        if self.variable is None or self._suspended:
+            return 0.0
+        return self.variable.value
+
+    @property
+    def suspended(self) -> bool:
+        """Whether the action is currently suspended (rate forced to 0)."""
+        return self._suspended
+
+    # -- state transitions --------------------------------------------------------
+    def is_running(self) -> bool:
+        return self.state is ActionState.RUNNING
+
+    def finish(self, now: float, state: ActionState) -> None:
+        """Terminate the action in ``state`` at date ``now``."""
+        if not self.is_running():
+            return
+        self.state = state
+        self.finish_time = now
+        if self.model is not None:
+            self.model.on_action_finished(self)
+
+    def cancel(self, now: float) -> None:
+        """Cancel the action (``MSG_task_cancel``)."""
+        self.finish(now, ActionState.CANCELLED)
+
+    def fail(self, now: float) -> None:
+        """Mark the action failed because a resource it uses went down."""
+        self.finish(now, ActionState.FAILED)
+
+    def suspend(self) -> None:
+        """Stop the action's progress without discarding its state."""
+        if self._suspended or not self.is_running():
+            return
+        self._suspended = True
+        if self.model is not None:
+            self.model.on_action_priority_changed(self)
+
+    def resume(self) -> None:
+        """Resume a suspended action."""
+        if not self._suspended or not self.is_running():
+            return
+        self._suspended = False
+        if self.model is not None:
+            self.model.on_action_priority_changed(self)
+
+    def set_priority(self, priority: float) -> None:
+        """Change the sharing weight of the action."""
+        if priority < 0:
+            raise ValueError("action priority must be >= 0")
+        self.priority = float(priority)
+        if self.model is not None:
+            self.model.on_action_priority_changed(self)
+
+    def set_bound(self, bound: Optional[float]) -> None:
+        """Set the maximum rate of the action (``None`` removes the cap)."""
+        if bound is not None and bound < 0:
+            raise ValueError("action bound must be >= 0 or None")
+        self.bound = bound
+        if self.model is not None:
+            self.model.on_action_priority_changed(self)
+
+    # -- progress ----------------------------------------------------------------
+    def effective_weight(self) -> float:
+        """Weight to hand to the LMM system (0 when suspended)."""
+        return 0.0 if self._suspended else self.priority
+
+    def update_remaining(self, delta_time: float) -> None:
+        """Consume ``rate * delta_time`` of the remaining work."""
+        if delta_time < 0:
+            raise ValueError("delta_time must be >= 0")
+        if not self.is_running():
+            return
+        rate = self.rate
+        if rate <= 0:
+            return
+        self.remaining = max(0.0, self.remaining - rate * delta_time)
+
+    def time_to_completion(self) -> float:
+        """Time needed to finish at the current rate (inf if stalled)."""
+        import math
+        if not self.is_running():
+            return 0.0
+        if self.remaining <= 0:
+            return 0.0
+        rate = self.rate
+        if rate <= 0 or rate == float("inf") and self.remaining == 0:
+            return math.inf if rate <= 0 else 0.0
+        if rate == float("inf"):
+            return 0.0
+        return self.remaining / rate
+
+    def progress(self) -> float:
+        """Fraction of the work already performed, in ``[0, 1]``."""
+        if self.cost <= 0:
+            return 1.0 if not self.is_running() or self.remaining <= 0 else 0.0
+        return 1.0 - self.remaining / self.cost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}(cost={self.cost}, "
+                f"remaining={self.remaining:.6g}, state={self.state.value})")

@@ -1,0 +1,187 @@
+"""CPU model: computations sharing processor capacity.
+
+The paper's SURF panel lists *"Multiple CPU-bound processes sharing a CPU"*
+as one instance of the MaxMin sharing model.  This module provides:
+
+* :class:`CpuResource` — one host CPU with a peak speed in flop/s, an
+  availability trace and a state (failure) trace;
+* :class:`CpuAction` — one computation of a given amount of flops;
+* :class:`CpuModel` — the model object that owns the LMM system, creates
+  executions and advances their state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from repro.surf.action import Action, ActionState
+from repro.surf.lmm import MaxMinSystem
+from repro.surf.resource import Resource
+from repro.surf.trace import Trace
+
+__all__ = ["CpuModel", "CpuResource", "CpuAction"]
+
+_COMPLETION_EPSILON = 1e-6
+
+
+class CpuResource(Resource):
+    """A processor with a given peak speed (flop/s).
+
+    ``cores`` models a multi-core host as a single constraint whose capacity
+    is ``speed * cores`` while each individual execution is bounded by the
+    speed of one core — the standard SimGrid multi-core approximation.
+    """
+
+    def __init__(self, name: str, speed: float, system: MaxMinSystem,
+                 cores: int = 1,
+                 availability_trace: Optional[Trace] = None,
+                 state_trace: Optional[Trace] = None) -> None:
+        if cores < 1:
+            raise ValueError("a CPU needs at least one core")
+        super().__init__(name, speed * cores, system,
+                         shared=True,
+                         availability_trace=availability_trace,
+                         state_trace=state_trace)
+        self.speed = float(speed)
+        self.cores = int(cores)
+
+    @property
+    def core_speed(self) -> float:
+        """Current speed of a single core (peak scaled by availability)."""
+        if not self.is_on:
+            return 0.0
+        return self.speed * self.availability
+
+
+class CpuAction(Action):
+    """One computation: ``cost`` flops executed on one CPU."""
+
+    def __init__(self, model: "CpuModel", cpu: CpuResource, cost: float,
+                 priority: float = 1.0) -> None:
+        super().__init__(model, cost, priority)
+        self.cpu = cpu
+
+
+class CpuModel:
+    """Fluid model of computations sharing CPUs via MaxMin fairness."""
+
+    def __init__(self) -> None:
+        self.system = MaxMinSystem()
+        self.cpus: Dict[str, CpuResource] = {}
+        self.running: Set[CpuAction] = set()
+
+    # -- platform construction -----------------------------------------------------
+    def add_cpu(self, name: str, speed: float, cores: int = 1,
+                availability_trace: Optional[Trace] = None,
+                state_trace: Optional[Trace] = None) -> CpuResource:
+        """Register a new CPU resource."""
+        if name in self.cpus:
+            raise ValueError(f"duplicate CPU name {name!r}")
+        cpu = CpuResource(name, speed, self.system, cores,
+                          availability_trace, state_trace)
+        self.cpus[name] = cpu
+        return cpu
+
+    @property
+    def resources(self) -> List[CpuResource]:
+        return list(self.cpus.values())
+
+    # -- action creation -----------------------------------------------------------
+    def execute(self, cpu: CpuResource, flops: float,
+                priority: float = 1.0,
+                bound: Optional[float] = None) -> CpuAction:
+        """Start a computation of ``flops`` on ``cpu``.
+
+        The returned action progresses at the CPU share allocated by the
+        MaxMin solver, at most one core's worth of speed.
+        """
+        action = CpuAction(self, cpu, flops, priority)
+        core_cap = cpu.speed if cpu.cores > 1 else None
+        effective_bound = bound
+        if core_cap is not None:
+            effective_bound = (core_cap if bound is None
+                               else min(bound, core_cap))
+        action.bound = effective_bound
+        var = self.system.new_variable(weight=action.effective_weight(),
+                                       bound=effective_bound, data=action)
+        action.variable = var
+        self.system.expand(cpu.constraint, var, 1.0)
+        self.running.add(action)
+        if not cpu.is_on:
+            # Executing on a dead host fails immediately at the next step.
+            action.fail(action.start_time)
+        return action
+
+    def sleep(self, cpu: CpuResource, duration: float) -> CpuAction:
+        """A zero-flop action used by the engine for process sleeps.
+
+        It is modelled as an execution of 0 flops with a dedicated duration
+        handled by the engine's timer queue, so this simply returns a
+        completed action; provided for API symmetry and tests.
+        """
+        action = CpuAction(self, cpu, 0.0, priority=0.0)
+        action.finish(0.0, ActionState.DONE)
+        return action
+
+    # -- model callbacks ------------------------------------------------------------
+    def on_action_finished(self, action: Action) -> None:
+        """Model hook: drop the LMM variable of a terminated action."""
+        if action.variable is not None:
+            self.system.remove_variable(action.variable)
+            action.variable = None
+        self.running.discard(action)  # type: ignore[arg-type]
+
+    def on_action_priority_changed(self, action: Action) -> None:
+        """Model hook: push new weight/bound to the LMM system."""
+        if action.variable is None:
+            return
+        self.system.update_variable_weight(action.variable,
+                                           action.effective_weight())
+        self.system.update_variable_bound(action.variable, action.bound)
+
+    # -- simulation steps -------------------------------------------------------------
+    def share_resources(self, now: float) -> float:
+        """Solve the LMM system; return the delay until the next completion."""
+        for action in self.running:
+            if action.variable is not None:
+                self.system.update_variable_weight(action.variable,
+                                                   action.effective_weight())
+                self.system.update_variable_bound(action.variable,
+                                                  action.bound)
+        self.system.solve()
+        min_delta = math.inf
+        for action in self.running:
+            if not action.is_running():
+                continue
+            delta = action.time_to_completion()
+            if delta < min_delta:
+                min_delta = delta
+        return min_delta
+
+    def update_actions_state(self, now: float, delta: float) -> List[CpuAction]:
+        """Advance every running action by ``delta``; return completions."""
+        finished: List[CpuAction] = []
+        for action in list(self.running):
+            if not action.is_running():
+                continue
+            action.update_remaining(delta)
+            if action.remaining <= _COMPLETION_EPSILON:
+                action.remaining = 0.0
+                action.finish(now, ActionState.DONE)
+                finished.append(action)
+        return finished
+
+    # -- failures -------------------------------------------------------------------
+    def fail_actions_on(self, cpu: CpuResource, now: float) -> List[CpuAction]:
+        """Fail every running action executing on ``cpu`` (host failure)."""
+        failed: List[CpuAction] = []
+        for action in list(self.running):
+            if action.cpu is cpu and action.is_running():
+                action.fail(now)
+                failed.append(action)
+        return failed
+
+    def resource_of(self, name: str) -> CpuResource:
+        """Lookup a CPU by name (raises ``KeyError`` if unknown)."""
+        return self.cpus[name]

@@ -1,0 +1,250 @@
+"""The SURF engine: advancing simulated time across all resource models.
+
+The engine owns the simulated clock and repeatedly performs the fluid
+simulation loop described in DESIGN.md §2.2:
+
+1. ask every model to *share resources* (solve its MaxMin system) and report
+   the date of its next action completion;
+2. find the earliest of: action completions, trace events (availability
+   changes, failures), and the caller-provided bound (used by the upper
+   layers for timers and sleeps);
+3. advance the clock to that date, update all running actions, apply the
+   trace events that fire, and fail the actions that were using a resource
+   that just died;
+4. hand the completed and failed actions back to the caller (the MSG/GRAS/
+   SMPI kernel) which resumes the simulated processes waiting on them.
+
+The engine is deliberately independent from the process layer so it can be
+unit-tested (and benchmarked) with raw actions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import List, Optional, Tuple
+
+from repro.surf.action import Action
+from repro.surf.cpu import CpuModel, CpuResource
+from repro.surf.network import LinkResource, NetworkModel
+from repro.surf.resource import Resource
+from repro.surf.trace import TraceIterator, TraceKind
+
+__all__ = ["SurfEngine", "StepResult"]
+
+_TIME_EPSILON = 1e-9
+
+
+class StepResult:
+    """Outcome of one engine step.
+
+    Attributes
+    ----------
+    time:
+        The new simulated date.
+    completed:
+        Actions that finished normally during the step.
+    failed:
+        Actions that failed because a resource they used was turned off.
+    reached_bound:
+        True when the step stopped at the caller-provided ``until`` bound
+        rather than at an action completion or trace event.
+    state_changes:
+        List of ``(resource, is_on)`` pairs for resources whose on/off state
+        changed during the step (used by the process layer to kill the
+        processes of a failed host).
+    """
+
+    __slots__ = ("time", "completed", "failed", "reached_bound",
+                 "state_changes")
+
+    def __init__(self, time: float, completed: List[Action],
+                 failed: List[Action], reached_bound: bool,
+                 state_changes: Optional[List[Tuple[Resource, bool]]] = None
+                 ) -> None:
+        self.time = time
+        self.completed = completed
+        self.failed = failed
+        self.reached_bound = reached_bound
+        self.state_changes = state_changes or []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StepResult(time={self.time}, completed={len(self.completed)},"
+                f" failed={len(self.failed)}, bound={self.reached_bound})")
+
+
+class SurfEngine:
+    """Couples the CPU and network models with a shared simulated clock."""
+
+    def __init__(self, cpu_model: Optional[CpuModel] = None,
+                 network_model: Optional[NetworkModel] = None) -> None:
+        self.clock = 0.0
+        self.cpu_model = cpu_model or CpuModel()
+        self.network_model = network_model or NetworkModel()
+        self.models = [self.cpu_model, self.network_model]
+        # heap of (date, sequence, resource, kind, value, iterator)
+        self._trace_heap: List[Tuple[float, int, Resource, TraceKind,
+                                     float, TraceIterator]] = []
+        self._seq = itertools.count()
+
+    # -- resource registration -------------------------------------------------------
+    def register_resource_traces(self, resource: Resource) -> None:
+        """Schedule the availability and state trace events of a resource.
+
+        Must be called once per resource that carries traces; the platform
+        loader does it automatically.
+        """
+        if resource.availability_trace is not None:
+            self._schedule_next(resource, TraceKind.AVAILABILITY,
+                                resource.availability_trace.iter_from(0.0))
+        if resource.state_trace is not None:
+            self._schedule_next(resource, TraceKind.STATE,
+                                resource.state_trace.iter_from(0.0))
+
+    def _schedule_next(self, resource: Resource, kind: TraceKind,
+                       iterator: TraceIterator) -> None:
+        nxt = iterator.next_event()
+        if nxt is None:
+            return
+        date, value = nxt
+        heapq.heappush(self._trace_heap,
+                       (date, next(self._seq), resource, kind, value, iterator))
+
+    def schedule_failure(self, resource: Resource, at: float,
+                         restore_at: Optional[float] = None) -> None:
+        """Explicitly inject a transient failure without a trace file.
+
+        ``resource`` turns off at ``at`` and, if ``restore_at`` is given,
+        turns back on at that date.
+        """
+        events = [(at, 0.0)]
+        if restore_at is not None:
+            if restore_at <= at:
+                raise ValueError("restore_at must be after the failure date")
+            events.append((restore_at, 1.0))
+        from repro.surf.trace import Trace
+        trace = Trace(events, name=f"failure:{resource.name}")
+        self._schedule_next(resource, TraceKind.STATE, trace.iter_from(0.0))
+
+    # -- time queries -----------------------------------------------------------------
+    def next_trace_event_date(self) -> float:
+        """Date of the next scheduled trace event (inf if none)."""
+        if not self._trace_heap:
+            return math.inf
+        return self._trace_heap[0][0]
+
+    def has_running_actions(self) -> bool:
+        """True when at least one action is still running in any model."""
+        return any(bool(model.running) for model in self.models)
+
+    # -- main loop ---------------------------------------------------------------------
+    def step(self, until: float = math.inf) -> Optional[StepResult]:
+        """Advance the simulation by one event.
+
+        Parameters
+        ----------
+        until:
+            Upper bound on the new date (used by the process layer for its
+            timers).  The engine never advances beyond it.
+
+        Returns
+        -------
+        A :class:`StepResult`, or ``None`` when nothing can ever happen
+        again (no running action, no pending trace event and no bound).
+        """
+        now = self.clock
+        if until < now - _TIME_EPSILON:
+            raise ValueError(f"cannot step backwards (until={until} < now={now})")
+
+        min_delta = math.inf
+        for model in self.models:
+            delta = model.share_resources(now)
+            if delta < min_delta:
+                min_delta = delta
+
+        trace_date = self.next_trace_event_date()
+        delta_trace = trace_date - now if not math.isinf(trace_date) else math.inf
+        delta_bound = until - now if not math.isinf(until) else math.inf
+
+        delta = min(min_delta, delta_trace, delta_bound)
+        if math.isinf(delta):
+            return None
+        delta = max(0.0, delta)
+
+        new_time = now + delta
+        self.clock = new_time
+
+        completed: List[Action] = []
+        for model in self.models:
+            completed.extend(model.update_actions_state(new_time, delta))
+
+        state_changes: List[Tuple[Resource, bool]] = []
+        failed: List[Action] = []
+        failed.extend(self._fire_trace_events(new_time, state_changes))
+
+        reached_bound = (delta_bound <= min_delta + _TIME_EPSILON
+                         and delta_bound <= delta_trace + _TIME_EPSILON
+                         and not math.isinf(until))
+        return StepResult(new_time, completed, failed, reached_bound,
+                          state_changes)
+
+    def _fire_trace_events(self, now: float,
+                           state_changes: Optional[List[Tuple[Resource, bool]]]
+                           = None) -> List[Action]:
+        """Apply every trace event due at or before ``now``."""
+        failed: List[Action] = []
+        while self._trace_heap and self._trace_heap[0][0] <= now + _TIME_EPSILON:
+            date, _, resource, kind, value, iterator = heapq.heappop(
+                self._trace_heap)
+            if kind is TraceKind.AVAILABILITY:
+                resource.set_availability(value)
+            else:
+                was_on = resource.is_on
+                resource.apply_state_value(value)
+                if was_on != resource.is_on and state_changes is not None:
+                    state_changes.append((resource, resource.is_on))
+                if was_on and not resource.is_on:
+                    failed.extend(self._fail_actions_using(resource, now))
+            # Re-arm the next event of this trace (periodic traces never end).
+            nxt = iterator.next_event()
+            if nxt is not None:
+                ndate, nvalue = nxt
+                heapq.heappush(self._trace_heap,
+                               (ndate, next(self._seq), resource, kind,
+                                nvalue, iterator))
+        return failed
+
+    def _fail_actions_using(self, resource: Resource,
+                            now: float) -> List[Action]:
+        if isinstance(resource, CpuResource):
+            return list(self.cpu_model.fail_actions_on(resource, now))
+        if isinstance(resource, LinkResource):
+            return list(self.network_model.fail_actions_on(resource, now))
+        return []
+
+    def fail_host(self, cpu: CpuResource, now: Optional[float] = None) -> List[Action]:
+        """Immediately fail a CPU (used by explicit ``host.turn_off()``)."""
+        date = self.clock if now is None else now
+        cpu.turn_off()
+        return self.cpu_model.fail_actions_on(cpu, date)
+
+    def restore_host(self, cpu: CpuResource) -> None:
+        """Turn a failed CPU back on."""
+        cpu.turn_on()
+
+    def run_until_idle(self, max_time: float = math.inf) -> float:
+        """Convenience loop for model-level tests: run until nothing remains.
+
+        Returns the final simulated date.
+        """
+        while True:
+            result = self.step(until=max_time)
+            if result is None:
+                break
+            if result.time >= max_time:
+                break
+            if (not self.has_running_actions()
+                    and math.isinf(self.next_trace_event_date())):
+                break
+        return self.clock

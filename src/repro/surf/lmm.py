@@ -1,0 +1,385 @@
+"""Linear MaxMin (LMM) solver — the resource-sharing core of SURF.
+
+The paper states the unifying model:
+
+    *Consider a set of resources R and a set of "tasks" T; each task is
+    defined as the subset of R it uses.  SURF uses the unifying MaxMin
+    Fairness model: allocate as much capacity to all tasks in a way that
+    maximizes the minimum capacity allocation over all tasks.*
+
+This module implements that model as a *linear max-min* system, following
+the structure of SimGrid's ``lmm`` solver:
+
+* a :class:`Constraint` represents one resource (a CPU, a network link) with
+  a finite capacity;
+* a :class:`Variable` represents one activity (a computation, a TCP flow)
+  with a *sharing weight* (priority) and an optional *rate bound*;
+* an *element* links a variable to a constraint with a usage coefficient
+  (how much of the resource one unit of the variable's rate consumes).
+
+Solving the system assigns to every variable ``i`` a rate ``x_i`` such that
+
+* for every shared constraint ``c``:  ``sum_i usage(i, c) * x_i <= C_c``;
+* for every non-shared ("fat-pipe") constraint ``c``:
+  ``max_i usage(i, c) * x_i <= C_c``;
+* for every bounded variable:  ``x_i <= bound_i``;
+* the allocation is weighted-max-min fair: the rate vector
+  ``(x_i / w_i)`` sorted increasingly is lexicographically maximal.
+
+The solver uses the classic *progressive filling* (a.k.a. water-filling)
+algorithm: repeatedly find the bottleneck — the constraint or bound that
+limits the common normalised rate the most — freeze the variables it
+saturates at that level, subtract their consumption from every other
+constraint, and continue with the rest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["MaxMinSystem", "Variable", "Constraint", "Element"]
+
+#: Numerical tolerance used throughout the solver.
+EPSILON = 1e-9
+
+
+@dataclass
+class Element:
+    """One (variable, constraint) incidence with its usage coefficient."""
+
+    variable: "Variable"
+    constraint: "Constraint"
+    usage: float
+
+
+class Variable:
+    """An activity competing for resources.
+
+    Parameters
+    ----------
+    weight:
+        Sharing weight (SimGrid calls it the *priority*).  A weight of zero
+        means the activity is suspended and receives no capacity at all.
+        Larger weights receive proportionally larger shares.
+    bound:
+        Optional upper bound on the rate (e.g. the TCP window bound
+        ``W / RTT`` applied by the network model).  ``None`` means unbounded.
+    data:
+        Opaque back-pointer for the caller (usually the owning Action).
+    """
+
+    __slots__ = ("id", "weight", "bound", "value", "elements", "data")
+
+    def __init__(self, vid: int, weight: float = 1.0,
+                 bound: Optional[float] = None, data=None) -> None:
+        if weight < 0:
+            raise ValueError("variable weight must be >= 0")
+        if bound is not None and bound < 0:
+            raise ValueError("variable bound must be >= 0 or None")
+        self.id = vid
+        self.weight = float(weight)
+        self.bound = None if bound is None else float(bound)
+        self.value = 0.0
+        self.elements: List[Element] = []
+        self.data = data
+
+    # -- introspection helpers -------------------------------------------------
+    @property
+    def constraints(self) -> List["Constraint"]:
+        """Constraints this variable crosses."""
+        return [e.constraint for e in self.elements]
+
+    def usage_of(self, constraint: "Constraint") -> float:
+        """Total usage coefficient of this variable on ``constraint``."""
+        return sum(e.usage for e in self.elements if e.constraint is constraint)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Variable(id={self.id}, weight={self.weight}, "
+                f"bound={self.bound}, value={self.value:.6g})")
+
+
+class Constraint:
+    """A resource with finite capacity shared by several variables.
+
+    Parameters
+    ----------
+    capacity:
+        The resource capacity (flop/s for a CPU, byte/s for a link).
+    shared:
+        If ``True`` (default) the capacity is *shared*: the sum of the
+        usages may not exceed the capacity (a regular link or CPU).  If
+        ``False`` the resource is a *fat pipe*: each crossing variable may
+        individually use up to the capacity (used to model backbone links
+        or switches that are never the bottleneck).
+    data:
+        Opaque back-pointer (usually the owning Resource).
+    """
+
+    __slots__ = ("id", "capacity", "shared", "elements", "data")
+
+    def __init__(self, cid: int, capacity: float, shared: bool = True,
+                 data=None) -> None:
+        if capacity < 0:
+            raise ValueError("constraint capacity must be >= 0")
+        self.id = cid
+        self.capacity = float(capacity)
+        self.shared = bool(shared)
+        self.elements: List[Element] = []
+        self.data = data
+
+    @property
+    def variables(self) -> List[Variable]:
+        """Variables crossing this constraint."""
+        return [e.variable for e in self.elements]
+
+    def usage_total(self) -> float:
+        """Current total consumption given the solved variable values."""
+        if self.shared:
+            return sum(e.usage * e.variable.value for e in self.elements)
+        if not self.elements:
+            return 0.0
+        return max(e.usage * e.variable.value for e in self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Constraint(id={self.id}, capacity={self.capacity}, "
+                f"shared={self.shared}, nvars={len(self.elements)})")
+
+
+class MaxMinSystem:
+    """A complete linear max-min system.
+
+    Typical usage::
+
+        system = MaxMinSystem()
+        link = system.new_constraint(capacity=1e9)           # 1 Gb/s link
+        flow1 = system.new_variable(weight=1.0)
+        flow2 = system.new_variable(weight=1.0)
+        system.expand(link, flow1, 1.0)
+        system.expand(link, flow2, 1.0)
+        system.solve()
+        assert flow1.value == flow2.value == 0.5e9
+    """
+
+    def __init__(self) -> None:
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self._next_var_id = 0
+        self._next_cns_id = 0
+        self._dirty = True
+
+    # -- construction -----------------------------------------------------------
+    def new_variable(self, weight: float = 1.0,
+                     bound: Optional[float] = None, data=None) -> Variable:
+        """Create and register a new variable."""
+        var = Variable(self._next_var_id, weight, bound, data)
+        self._next_var_id += 1
+        self.variables.append(var)
+        self._dirty = True
+        return var
+
+    def new_constraint(self, capacity: float, shared: bool = True,
+                       data=None) -> Constraint:
+        """Create and register a new constraint."""
+        cns = Constraint(self._next_cns_id, capacity, shared, data)
+        self._next_cns_id += 1
+        self.constraints.append(cns)
+        self._dirty = True
+        return cns
+
+    def expand(self, constraint: Constraint, variable: Variable,
+               usage: float = 1.0) -> None:
+        """Declare that ``variable`` consumes ``usage`` of ``constraint``.
+
+        Calling :meth:`expand` twice for the same pair accumulates the usage
+        (matching SimGrid's ``lmm_expand_add``), which is what a route that
+        crosses the same physical link twice needs.
+        """
+        if usage < 0:
+            raise ValueError("usage must be >= 0")
+        if usage == 0:
+            return
+        for elem in variable.elements:
+            if elem.constraint is constraint:
+                elem.usage += usage
+                self._dirty = True
+                return
+        elem = Element(variable, constraint, usage)
+        variable.elements.append(elem)
+        constraint.elements.append(elem)
+        self._dirty = True
+
+    # -- mutation ----------------------------------------------------------------
+    def remove_variable(self, variable: Variable) -> None:
+        """Remove a variable (the activity completed or was cancelled)."""
+        for elem in variable.elements:
+            try:
+                elem.constraint.elements.remove(elem)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        variable.elements.clear()
+        try:
+            self.variables.remove(variable)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._dirty = True
+
+    def update_variable_weight(self, variable: Variable, weight: float) -> None:
+        """Change the sharing weight (0 suspends the activity)."""
+        if weight < 0:
+            raise ValueError("variable weight must be >= 0")
+        variable.weight = float(weight)
+        self._dirty = True
+
+    def update_variable_bound(self, variable: Variable,
+                              bound: Optional[float]) -> None:
+        """Change the rate bound of a variable."""
+        if bound is not None and bound < 0:
+            raise ValueError("variable bound must be >= 0 or None")
+        variable.bound = None if bound is None else float(bound)
+        self._dirty = True
+
+    def update_constraint_capacity(self, constraint: Constraint,
+                                   capacity: float) -> None:
+        """Change a resource capacity (availability trace event, failure)."""
+        if capacity < 0:
+            raise ValueError("constraint capacity must be >= 0")
+        constraint.capacity = float(capacity)
+        self._dirty = True
+
+    # -- solving -----------------------------------------------------------------
+    def solve(self) -> None:
+        """Assign a max-min fair value to every variable.
+
+        The algorithm is progressive filling on the *normalised* rates
+        ``x_i / w_i``.  At every round we compute, for every unsaturated
+        constraint, the level at which it would saturate if all its
+        still-active variables grew proportionally to their weights, take
+        the minimum over constraints and over individual variable bounds,
+        freeze the limiting variables at that level and loop.
+        """
+        active: List[Variable] = []
+        for var in self.variables:
+            if var.weight <= EPSILON or not var.elements:
+                # Suspended variables get no capacity.  Variables crossing
+                # no constraint are only limited by their bound.
+                if var.weight <= EPSILON:
+                    var.value = 0.0
+                else:
+                    var.value = var.bound if var.bound is not None else math.inf
+            else:
+                var.value = 0.0
+                active.append(var)
+
+        remaining: Dict[int, float] = {
+            c.id: c.capacity for c in self.constraints
+        }
+        unassigned = set(id(v) for v in active)
+
+        # Guard: at most one round per variable (each round freezes >= 1 var).
+        for _round in range(len(active) + 1):
+            if not unassigned:
+                break
+
+            # 1. candidate level from each constraint
+            best_level = math.inf
+            best_constraint: Optional[Constraint] = None
+            for cns in self.constraints:
+                level = self._constraint_level(cns, remaining[cns.id],
+                                               unassigned)
+                if level is not None and level < best_level - EPSILON:
+                    best_level = level
+                    best_constraint = cns
+
+            # 2. candidate level from each still-unassigned bounded variable
+            best_bound_var: Optional[Variable] = None
+            for var in active:
+                if id(var) not in unassigned or var.bound is None:
+                    continue
+                level = var.bound / var.weight
+                if level < best_level - EPSILON:
+                    best_level = level
+                    best_constraint = None
+                    best_bound_var = var
+
+            if best_level is math.inf:
+                # No constraint limits the remaining variables: they are only
+                # limited by their bounds (handled above) or unbounded.
+                for var in active:
+                    if id(var) in unassigned:
+                        var.value = (var.bound if var.bound is not None
+                                     else math.inf)
+                        unassigned.discard(id(var))
+                break
+
+            if best_bound_var is not None:
+                frozen = [best_bound_var]
+            else:
+                assert best_constraint is not None
+                frozen = [v for v in best_constraint.variables
+                          if id(v) in unassigned]
+
+            for var in frozen:
+                value = best_level * var.weight
+                if var.bound is not None:
+                    value = min(value, var.bound)
+                var.value = value
+                unassigned.discard(id(var))
+                # subtract consumption from every shared constraint crossed
+                for elem in var.elements:
+                    if elem.constraint.shared:
+                        remaining[elem.constraint.id] = max(
+                            0.0,
+                            remaining[elem.constraint.id] - elem.usage * value,
+                        )
+
+        self._dirty = False
+
+    def _constraint_level(self, cns: Constraint, remaining: float,
+                          unassigned) -> Optional[float]:
+        """Saturation level of ``cns`` for its still-unassigned variables.
+
+        Returns ``None`` when no unassigned variable crosses the constraint.
+        """
+        if cns.shared:
+            denom = 0.0
+            found = False
+            for elem in cns.elements:
+                if id(elem.variable) in unassigned:
+                    denom += elem.usage * elem.variable.weight
+                    found = True
+            if not found or denom <= EPSILON:
+                return None
+            return max(0.0, remaining) / denom
+        # Fat-pipe: each variable is individually limited to capacity/usage,
+        # i.e. level = capacity / (usage * weight); the constraint behaves as
+        # a per-variable bound, so the level is the smallest of those.
+        best = None
+        for elem in cns.elements:
+            if id(elem.variable) in unassigned and elem.usage > EPSILON:
+                level = cns.capacity / (elem.usage * elem.variable.weight)
+                if best is None or level < best:
+                    best = level
+        return best
+
+    # -- validation helpers -------------------------------------------------------
+    def check_feasible(self, tol: float = 1e-6) -> bool:
+        """Return True when the solved values violate no constraint.
+
+        Intended for tests and debugging; ``solve()`` must have been called.
+        """
+        for cns in self.constraints:
+            usage = cns.usage_total()
+            if usage > cns.capacity * (1.0 + tol) + tol:
+                return False
+        for var in self.variables:
+            if var.bound is not None and var.value > var.bound * (1 + tol) + tol:
+                return False
+            if var.value < -tol:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MaxMinSystem(nvars={len(self.variables)}, "
+                f"ncons={len(self.constraints)})")

@@ -1,0 +1,277 @@
+"""Network model: TCP flows sharing links, with multi-hop routing.
+
+The paper's SURF panel lists the capabilities reproduced here:
+
+* *Simulation of complex communications (multi-hop routing)* — a transfer
+  uses every link along its route, so its LMM variable crosses one
+  constraint per link;
+* *Simulation of resource sharing* — multiple TCP flows sharing links get
+  MaxMin-fair shares;
+* *Simulation of LAN and WAN links* — links carry both a bandwidth and a
+  latency; the latency of a route is the sum of its links' latencies;
+* trace-driven bandwidth variation and link failures.
+
+The model follows SimGrid's CM02 fluid model of that era:
+
+* a transfer of ``size`` bytes over a route first pays the route latency,
+  then transfers its payload at the MaxMin-fair rate;
+* optionally, the rate of a flow is bounded by ``gamma / (2 * latency)``
+  — the classic TCP congestion-window bound (window / RTT) that makes the
+  fluid model much closer to packet-level simulators for long fat pipes;
+* empirical correction factors on bandwidth and latency are configurable
+  (the original CM02 paper uses 0.92 and 10.4; we default to neutral 1.0
+  values so results are easy to reason about, and the validation benchmark
+  explores their effect).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.surf.action import Action, ActionState
+from repro.surf.lmm import MaxMinSystem
+from repro.surf.resource import Resource
+from repro.surf.trace import Trace
+
+__all__ = ["NetworkModel", "NetworkModelConfig", "LinkResource", "NetworkAction"]
+
+_COMPLETION_EPSILON = 1e-6
+_LATENCY_EPSILON = 1e-12
+
+
+@dataclass
+class NetworkModelConfig:
+    """Tunable knobs of the fluid network model.
+
+    Attributes
+    ----------
+    bandwidth_factor:
+        Multiplier applied to nominal link bandwidths (models protocol
+        overhead; CM02 uses 0.92).
+    latency_factor:
+        Multiplier applied to route latencies (CM02 uses 10.4 to account
+        for TCP slow-start on short transfers).
+    tcp_gamma:
+        Maximum TCP congestion window in bytes.  A flow's rate is bounded
+        by ``tcp_gamma / (2 * route_latency)``; set to 0 to disable the
+        bound.  The default (4 MiB) only matters on high-latency routes.
+    """
+
+    bandwidth_factor: float = 1.0
+    latency_factor: float = 1.0
+    tcp_gamma: float = 4194304.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be > 0")
+        if self.latency_factor <= 0:
+            raise ValueError("latency_factor must be > 0")
+        if self.tcp_gamma < 0:
+            raise ValueError("tcp_gamma must be >= 0")
+
+
+class LinkResource(Resource):
+    """A network link with bandwidth (byte/s) and latency (s).
+
+    ``shared=False`` models a fat-pipe backbone where concurrent flows do
+    not interfere (each can use the full bandwidth).
+    """
+
+    def __init__(self, name: str, bandwidth: float, latency: float,
+                 system: MaxMinSystem, shared: bool = True,
+                 bandwidth_trace: Optional[Trace] = None,
+                 state_trace: Optional[Trace] = None) -> None:
+        if latency < 0:
+            raise ValueError(f"link {name!r}: latency must be >= 0")
+        super().__init__(name, bandwidth, system, shared=shared,
+                         availability_trace=bandwidth_trace,
+                         state_trace=state_trace)
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+
+    @property
+    def current_bandwidth(self) -> float:
+        """Bandwidth after availability scaling (0 when failed)."""
+        return self.current_capacity
+
+
+class NetworkAction(Action):
+    """One data transfer over a fixed sequence of links."""
+
+    def __init__(self, model: "NetworkModel", links: Sequence[LinkResource],
+                 size: float, latency: float, priority: float = 1.0) -> None:
+        super().__init__(model, size, priority)
+        self.links: List[LinkResource] = list(links)
+        self.total_latency = float(latency)
+        self.latency_remaining = float(latency)
+
+    @property
+    def in_latency_phase(self) -> bool:
+        """True while the transfer is still paying the route latency."""
+        return self.latency_remaining > _LATENCY_EPSILON
+
+    def effective_weight(self) -> float:
+        """No bandwidth is consumed while the latency is being paid."""
+        if self.in_latency_phase:
+            return 0.0
+        return super().effective_weight()
+
+
+class NetworkModel:
+    """Fluid model of data transfers sharing network links."""
+
+    def __init__(self, config: Optional[NetworkModelConfig] = None) -> None:
+        self.config = config or NetworkModelConfig()
+        self.system = MaxMinSystem()
+        self.links: Dict[str, LinkResource] = {}
+        self.running: Set[NetworkAction] = set()
+
+    # -- platform construction -----------------------------------------------------
+    def add_link(self, name: str, bandwidth: float, latency: float = 0.0,
+                 shared: bool = True,
+                 bandwidth_trace: Optional[Trace] = None,
+                 state_trace: Optional[Trace] = None) -> LinkResource:
+        """Register a new link resource."""
+        if name in self.links:
+            raise ValueError(f"duplicate link name {name!r}")
+        link = LinkResource(name, bandwidth * self.config.bandwidth_factor,
+                            latency, self.system, shared,
+                            bandwidth_trace, state_trace)
+        self.links[name] = link
+        return link
+
+    @property
+    def resources(self) -> List[LinkResource]:
+        return list(self.links.values())
+
+    # -- action creation -----------------------------------------------------------
+    def communicate(self, links: Sequence[LinkResource], size: float,
+                    extra_latency: float = 0.0,
+                    rate: Optional[float] = None,
+                    priority: float = 1.0) -> NetworkAction:
+        """Start the transfer of ``size`` bytes over ``links``.
+
+        Parameters
+        ----------
+        links:
+            The route, in order.  May be empty for a loopback communication
+            (only ``extra_latency`` applies then).
+        size:
+            Payload size in bytes.
+        extra_latency:
+            Additional latency (e.g. from the route description) added to
+            the sum of the link latencies.
+        rate:
+            Optional application-level cap on the transfer rate
+            (``MSG_task_put_bounded``).
+        priority:
+            Sharing weight of the flow.
+        """
+        route_latency = (sum(l.latency for l in links) + extra_latency)
+        route_latency *= self.config.latency_factor
+        action = NetworkAction(self, links, size, route_latency, priority)
+
+        bound = rate
+        if self.config.tcp_gamma > 0 and route_latency > 0:
+            tcp_bound = self.config.tcp_gamma / (2.0 * route_latency)
+            bound = tcp_bound if bound is None else min(bound, tcp_bound)
+        action.bound = bound
+
+        var = self.system.new_variable(weight=action.effective_weight(),
+                                       bound=bound, data=action)
+        action.variable = var
+        for link in links:
+            self.system.expand(link.constraint, var, 1.0)
+        self.running.add(action)
+
+        if any(not link.is_on for link in links):
+            action.fail(action.start_time)
+        return action
+
+    # -- model callbacks ------------------------------------------------------------
+    def on_action_finished(self, action: Action) -> None:
+        """Model hook: drop the LMM variable of a terminated transfer."""
+        if action.variable is not None:
+            self.system.remove_variable(action.variable)
+            action.variable = None
+        self.running.discard(action)  # type: ignore[arg-type]
+
+    def on_action_priority_changed(self, action: Action) -> None:
+        """Model hook: push new weight/bound to the LMM system."""
+        if action.variable is None:
+            return
+        self.system.update_variable_weight(action.variable,
+                                           action.effective_weight())
+        self.system.update_variable_bound(action.variable, action.bound)
+
+    # -- simulation steps -------------------------------------------------------------
+    def share_resources(self, now: float) -> float:
+        """Solve the LMM system; return the delay until the next event.
+
+        The next event of a transfer is either the end of its latency phase
+        or its completion at the freshly computed rate.
+        """
+        for action in self.running:
+            if action.variable is not None:
+                self.system.update_variable_weight(action.variable,
+                                                   action.effective_weight())
+                self.system.update_variable_bound(action.variable,
+                                                  action.bound)
+        self.system.solve()
+        min_delta = math.inf
+        for action in self.running:
+            if not action.is_running():
+                continue
+            if action.in_latency_phase:
+                delta = action.latency_remaining
+                # A zero-byte message completes right at the end of latency.
+            else:
+                if action.remaining <= _COMPLETION_EPSILON:
+                    delta = 0.0
+                else:
+                    delta = action.time_to_completion()
+            if delta < min_delta:
+                min_delta = delta
+        return min_delta
+
+    def update_actions_state(self, now: float,
+                             delta: float) -> List[NetworkAction]:
+        """Advance every running transfer by ``delta``; return completions."""
+        finished: List[NetworkAction] = []
+        for action in list(self.running):
+            if not action.is_running():
+                continue
+            remaining_delta = delta
+            if action.in_latency_phase:
+                consumed = min(action.latency_remaining, remaining_delta)
+                action.latency_remaining -= consumed
+                remaining_delta -= consumed
+                if action.in_latency_phase:
+                    continue  # still paying latency
+                # Latency finished: start consuming bandwidth next round.
+                self.on_action_priority_changed(action)
+            if remaining_delta > 0:
+                action.update_remaining(remaining_delta)
+            if (not action.in_latency_phase
+                    and action.remaining <= _COMPLETION_EPSILON):
+                action.remaining = 0.0
+                action.finish(now, ActionState.DONE)
+                finished.append(action)
+        return finished
+
+    # -- failures -------------------------------------------------------------------
+    def fail_actions_on(self, link: LinkResource,
+                        now: float) -> List[NetworkAction]:
+        """Fail every running transfer crossing ``link``."""
+        failed: List[NetworkAction] = []
+        for action in list(self.running):
+            if link in action.links and action.is_running():
+                action.fail(now)
+                failed.append(action)
+        return failed
+
+    def resource_of(self, name: str) -> LinkResource:
+        """Lookup a link by name (raises ``KeyError`` if unknown)."""
+        return self.links[name]

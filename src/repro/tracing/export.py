@@ -1,0 +1,67 @@
+"""Exporting traces: CSV rows and ASCII-art Gantt charts."""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+from repro.tracing.gantt import COMM_CATEGORIES, COMPUTE_CATEGORIES, GanttChart
+from repro.tracing.recorder import Interval, Recorder
+
+__all__ = ["intervals_to_csv", "render_ascii_gantt"]
+
+
+def intervals_to_csv(recorder: Recorder) -> str:
+    """Serialise recorded intervals as CSV text (row,category,start,end,label)."""
+    out = io.StringIO()
+    out.write("row,category,start,end,label\n")
+    for interval in sorted(recorder.intervals,
+                           key=lambda i: (i.row, i.start, i.end)):
+        label = interval.label.replace(",", ";")
+        out.write(f"{interval.row},{interval.category},"
+                  f"{interval.start:.9g},{interval.end:.9g},{label}\n")
+    return out.getvalue()
+
+
+def render_ascii_gantt(chart: GanttChart, width: int = 72,
+                       compute_char: str = "#", comm_char: str = "-",
+                       idle_char: str = ".") -> str:
+    """Render the Gantt chart as fixed-width ASCII art.
+
+    ``#`` marks computation (the paper's dark portions), ``-`` marks
+    communication (light portions) and ``.`` marks idle time.
+    """
+    horizon = chart.horizon
+    if horizon <= 0 or width <= 0:
+        return ""
+    lines: List[str] = []
+    name_width = max((len(row.name) for row in chart.rows), default=0)
+    for row in chart.rows:
+        cells = [idle_char] * width
+        # paint communications first so computations overwrite them
+        for interval in row.intervals:
+            char: Optional[str] = None
+            if interval.category in COMM_CATEGORIES:
+                char = comm_char
+            if char is None:
+                continue
+            _paint(cells, interval, horizon, width, char)
+        for interval in row.intervals:
+            if interval.category in COMPUTE_CATEGORIES:
+                _paint(cells, interval, horizon, width, compute_char)
+        lines.append(f"{row.name.ljust(name_width)} |{''.join(cells)}|")
+    scale = (f"{'':{name_width}} |0{'':{max(0, width - 2)}}"
+             f"{horizon:.3g}|")
+    lines.append(scale)
+    return "\n".join(lines)
+
+
+def _paint(cells: List[str], interval: Interval, horizon: float, width: int,
+           char: str) -> None:
+    start_idx = int(interval.start / horizon * width)
+    end_idx = int(interval.end / horizon * width)
+    start_idx = max(0, min(width - 1, start_idx))
+    end_idx = max(start_idx, min(width - 1, end_idx if end_idx > start_idx
+                                 else start_idx))
+    for idx in range(start_idx, end_idx + 1):
+        cells[idx] = char

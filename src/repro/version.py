@@ -1,0 +1,10 @@
+"""Version information for the SimGrid HPDC'06 reproduction."""
+
+__version__ = "1.0.0"
+
+#: The paper this repository reproduces.
+PAPER = (
+    "A. Legrand, M. Quinson, H. Casanova, K. Fujiwara: "
+    "The SimGrid Project - Simulation and Deployment of Distributed "
+    "Applications, HPDC 2006"
+)

@@ -1,0 +1,85 @@
+"""Base class of the middleware wire-format comparators.
+
+A :class:`Codec` answers two questions about sending a structured message
+from one architecture to another:
+
+* :meth:`wire_size` — how many bytes end up on the wire;
+* :meth:`conversion_operations` — how many per-byte conversion operations
+  the sender and the receiver perform (byte swapping, copying into aligned
+  buffers, text formatting/parsing...).
+
+The exchange model (:mod:`repro.wire.exchange`) turns those into a time by
+charging the bytes to the network link and the conversion operations to the
+endpoint CPUs, which is enough to reproduce the *ordering* and rough
+*magnitudes* of the paper's tables (GRAS fastest, XML slowest, MPICH
+unavailable across architectures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.exceptions import SimGridError
+from repro.gras.arch import Architecture
+from repro.gras.datadesc import DataDescription
+
+__all__ = ["Codec", "CodecUnavailableError", "ConversionCost"]
+
+
+class CodecUnavailableError(SimGridError):
+    """The middleware cannot exchange this pair of architectures.
+
+    Used by the MPICH codec for heterogeneous pairs, which the paper's
+    tables report as ``n/a``.
+    """
+
+
+@dataclass(frozen=True)
+class ConversionCost:
+    """Per-endpoint conversion work, expressed in *operations*.
+
+    One operation corresponds to touching one byte once (copy, swap,
+    format...).  The exchange model converts operations to seconds using a
+    per-architecture operation rate.
+    """
+
+    sender_ops: float
+    receiver_ops: float
+
+
+class Codec:
+    """One middleware's serialisation strategy."""
+
+    #: Short name used in tables ("GRAS", "MPICH", "OmniORB", "PBIO", "XML").
+    name: str = "abstract"
+
+    def wire_size(self, desc: DataDescription, value: Any,
+                  sender: Architecture, receiver: Architecture) -> float:
+        """Bytes on the wire for one message."""
+        raise NotImplementedError
+
+    def conversion_operations(self, desc: DataDescription, value: Any,
+                              sender: Architecture,
+                              receiver: Architecture) -> ConversionCost:
+        """Per-endpoint serialisation/deserialisation work."""
+        raise NotImplementedError
+
+    def supports(self, sender: Architecture, receiver: Architecture) -> bool:
+        """Whether this middleware can connect the two architectures."""
+        return True
+
+    def check_supported(self, sender: Architecture,
+                        receiver: Architecture) -> None:
+        if not self.supports(sender, receiver):
+            raise CodecUnavailableError(
+                f"{self.name} cannot exchange {sender.name} -> {receiver.name}")
+
+    # Shared helper: the native binary size of the payload on an architecture.
+    @staticmethod
+    def native_size(desc: DataDescription, value: Any,
+                    arch: Architecture) -> float:
+        return float(desc.wire_size(value, arch))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Codec {self.name}>"

@@ -1,0 +1,48 @@
+"""MPICH wire format: dense binary between identical architectures only."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.gras.arch import Architecture
+from repro.gras.datadesc import DataDescription
+from repro.wire.codec import Codec, ConversionCost
+
+__all__ = ["MpichCodec"]
+
+
+class MpichCodec(Codec):
+    """MPICH-1 style messaging, as benchmarked in the paper.
+
+    MPICH ships raw memory with a small envelope and (in the configurations
+    of the paper's era) offers no heterogeneous data conversion, so every
+    heterogeneous pair is reported ``n/a`` in the tables; this codec mirrors
+    that by refusing such pairs.  On homogeneous pairs it is lean but pays
+    the derived-datatype packing of the structured Pastry message.
+    """
+
+    name = "MPICH"
+
+    #: Message envelope (tag, communicator, length...).
+    HEADER_BYTES = 32.0
+    #: Relative cost of walking the derived datatype while packing/unpacking.
+    PACK_FACTOR = 1.6
+
+    def supports(self, sender: Architecture, receiver: Architecture) -> bool:
+        return (sender.byte_order == receiver.byte_order
+                and sender.type_sizes == receiver.type_sizes)
+
+    def wire_size(self, desc: DataDescription, value: Any,
+                  sender: Architecture, receiver: Architecture) -> float:
+        self.check_supported(sender, receiver)
+        return self.native_size(desc, value, sender) + self.HEADER_BYTES
+
+    def conversion_operations(self, desc: DataDescription, value: Any,
+                              sender: Architecture,
+                              receiver: Architecture) -> ConversionCost:
+        self.check_supported(sender, receiver)
+        payload = self.native_size(desc, value, sender)
+        # Packing a non-contiguous derived datatype costs more than a flat
+        # copy on both sides.
+        return ConversionCost(sender_ops=payload * self.PACK_FACTOR,
+                              receiver_ops=payload * self.PACK_FACTOR)

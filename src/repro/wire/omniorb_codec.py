@@ -1,0 +1,48 @@
+"""OmniORB wire format: CORBA CDR / GIOP."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.gras.arch import Architecture
+from repro.gras.datadesc import DataDescription
+from repro.wire.codec import Codec, ConversionCost
+
+__all__ = ["OmniOrbCodec"]
+
+
+class OmniOrbCodec(Codec):
+    """CORBA's Common Data Representation as implemented by OmniORB.
+
+    * Every value is marshalled field by field into a CDR stream with
+      natural alignment padding and a GIOP request header carrying the
+      operation name and object key — noticeably more bytes than GRAS.
+    * CDR streams declare their byte order: the sender always marshals
+      (one full pass) and the receiver always unmarshals (another full
+      pass), swapping when its native order differs from the stream's.
+    """
+
+    name = "OmniORB"
+
+    #: GIOP header + request header (object key, operation, service ctx).
+    HEADER_BYTES = 96.0
+    #: Alignment padding + CDR encapsulation overhead on the payload.
+    PADDING_FACTOR = 1.18
+    #: Marshalling walks the IDL-generated code: costlier than a memcpy.
+    MARSHAL_FACTOR = 1.8
+
+    def wire_size(self, desc: DataDescription, value: Any,
+                  sender: Architecture, receiver: Architecture) -> float:
+        payload = self.native_size(desc, value, sender)
+        return payload * self.PADDING_FACTOR + self.HEADER_BYTES
+
+    def conversion_operations(self, desc: DataDescription, value: Any,
+                              sender: Architecture,
+                              receiver: Architecture) -> ConversionCost:
+        payload = self.native_size(desc, value, sender)
+        sender_ops = payload * self.MARSHAL_FACTOR
+        receiver_ops = payload * self.MARSHAL_FACTOR
+        if sender.byte_order != receiver.byte_order:
+            receiver_ops += payload  # byte-swap pass on the receiver
+        return ConversionCost(sender_ops=sender_ops,
+                              receiver_ops=receiver_ops)

@@ -1,0 +1,75 @@
+"""Tests for the exception hierarchy, MSG error codes and package facade."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    CancelledError,
+    DeadlockError,
+    HostFailureError,
+    NoRouteError,
+    PlatformError,
+    SimGridError,
+    SimTimeoutError,
+    TransferFailureError,
+)
+from repro.msg.errors import MsgError, error_of_exception, exception_of_error
+
+
+class TestExceptionHierarchy:
+    def test_every_simulation_error_is_a_simgrid_error(self):
+        for exc_type in (HostFailureError, TransferFailureError,
+                         SimTimeoutError, CancelledError, DeadlockError,
+                         PlatformError, NoRouteError):
+            assert issubclass(exc_type, SimGridError)
+
+    def test_timeout_is_also_a_builtin_timeout(self):
+        assert issubclass(SimTimeoutError, TimeoutError)
+        with pytest.raises(TimeoutError):
+            raise SimTimeoutError("late")
+
+    def test_no_route_is_a_platform_error(self):
+        assert issubclass(NoRouteError, PlatformError)
+
+
+class TestMsgErrorCodes:
+    @pytest.mark.parametrize("exc,code", [
+        (None, MsgError.OK),
+        (HostFailureError("x"), MsgError.HOST_FAILURE),
+        (TransferFailureError("x"), MsgError.TRANSFER_FAILURE),
+        (SimTimeoutError("x"), MsgError.TIMEOUT),
+        (CancelledError("x"), MsgError.TASK_CANCELED),
+    ])
+    def test_error_of_exception(self, exc, code):
+        assert error_of_exception(exc) is code
+
+    def test_unknown_simgrid_error_maps_to_transfer_failure(self):
+        assert error_of_exception(DeadlockError("x")) is MsgError.TRANSFER_FAILURE
+
+    def test_non_simulation_error_rejected(self):
+        with pytest.raises(TypeError):
+            error_of_exception(ValueError("not ours"))
+
+    def test_exception_of_error_round_trip(self):
+        assert exception_of_error(MsgError.OK) is None
+        exc = exception_of_error(MsgError.TIMEOUT, "too slow")
+        assert isinstance(exc, SimTimeoutError)
+        assert "too slow" in str(exc)
+        for code in (MsgError.HOST_FAILURE, MsgError.TRANSFER_FAILURE,
+                     MsgError.TASK_CANCELED):
+            rebuilt = exception_of_error(code)
+            assert error_of_exception(rebuilt) is code
+
+
+class TestPackageFacade:
+    def test_version_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_paper_reference_recorded(self):
+        from repro.version import PAPER
+        assert "SimGrid" in PAPER and "HPDC" in PAPER

@@ -1,0 +1,88 @@
+"""Integration tests: every shipped example runs and produces sane output."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_matches_expected_duration(self, capsys):
+        module = load_example("quickstart")
+        final_time = module.main()
+        captured = capsys.readouterr().out
+        assert "received 'Ack'" in captured
+        # 3.2 MB at 1.25 MB/s (+1 ms) + 30 MFlop at 100 MFlop/s + 10 KB ack
+        assert 2.8 < final_time < 3.0
+
+
+class TestClientServerGantt:
+    def test_gantt_shows_interfering_communications(self):
+        module = load_example("client_server_gantt")
+        final_time, chart = module.run(verbose=False)
+        assert final_time > 0
+        summary = chart.summary()
+        # every client and server row exists and did some communication
+        assert set(summary) == {"client-0", "client-1", "client-2",
+                                "server-0", "server-1"}
+        assert all(totals["comm"] > 0 for totals in summary.values())
+        # servers computed (dark blocks exist)
+        assert summary["server-0"]["compute"] > 0
+        # the paper's point: concurrent flows overlap in time
+        assert chart.overlapping_comms() > 0
+
+
+class TestGrasPingpong:
+    def test_simulation_mode(self, capsys):
+        module = load_example("gras_pingpong")
+        final = module.run_simulation()
+        assert final > 1.0          # the client sleeps 1 s before pinging
+        assert "ping-pong completed" in capsys.readouterr().out
+
+    def test_real_mode(self, capsys):
+        module = load_example("gras_pingpong")
+        module.run_real_life()
+        assert "real-world run completed" in capsys.readouterr().out
+
+
+class TestSmpiMatmul:
+    def test_heterogeneous_platform_is_slower(self, capsys):
+        module = load_example("smpi_matmul")
+        homogeneous = module.simulate(
+            __import__("repro.platform", fromlist=["make_cluster"])
+            .make_cluster(num_hosts=4), 4, "homogeneous")
+        heterogeneous = module.simulate(
+            __import__("repro.platform", fromlist=["make_two_site_grid"])
+            .make_two_site_grid(hosts_per_site=2, wan_bandwidth=1.25e6,
+                                wan_latency=50e-3), 4, "heterogeneous")
+        assert heterogeneous > homogeneous
+
+
+class TestP2pFilesharing:
+    def test_downloads_complete_despite_failure(self, capsys):
+        module = load_example("p2p_filesharing")
+        module.main()
+        out = capsys.readouterr().out
+        assert out.count("download complete") == 2
+        assert "switching" in out          # the failed seed was abandoned
+
+
+class TestAmokMonitoring:
+    def test_two_sites_inferred(self, capsys):
+        module = load_example("amok_monitoring")
+        module.main()
+        out = capsys.readouterr().out
+        assert "site 0:" in out and "site 1:" in out
+        assert "wide area" in out

@@ -1,0 +1,326 @@
+"""Tests for GRAS messaging: simulation backend, real-life backend, bench."""
+
+import pytest
+
+from repro.exceptions import SimTimeoutError, UnknownMessageError
+from repro.gras import RlWorld, SimWorld
+from repro.gras.bench import BenchRecorder
+from repro.gras.message import MessageRegistry, MessageType
+from repro.gras.datadesc import datadesc_by_name
+from repro.platform import make_star, make_two_site_grid
+
+
+def star(bandwidth=12.5e6, latency=5e-4):
+    return make_star(num_hosts=2, link_bandwidth=bandwidth,
+                     link_latency=latency)
+
+
+class TestMessageRegistry:
+    def test_declare_and_lookup(self):
+        registry = MessageRegistry()
+        registry.declare("ping", "int")
+        assert registry.by_name("ping").payload_desc is datadesc_by_name("int")
+        assert registry.is_declared("ping")
+
+    def test_undeclared_type_rejected(self):
+        registry = MessageRegistry()
+        with pytest.raises(UnknownMessageError):
+            registry.by_name("nope")
+
+    def test_callback_registration_requires_declared_type(self):
+        registry = MessageRegistry()
+        with pytest.raises(UnknownMessageError):
+            registry.register_callback("nope", lambda *a: None)
+        registry.declare("ok")
+        registry.register_callback("ok", lambda *a: None)
+        assert registry.callback_for("ok") is not None
+        registry.unregister_callback("ok")
+        assert registry.callback_for("ok") is None
+
+    def test_wire_size_includes_header_and_payload(self):
+        msgtype = MessageType("ping", datadesc_by_name("int"))
+        empty = MessageType("empty", None)
+        assert msgtype.wire_size(5) > empty.wire_size(None)
+
+
+class TestSimulationMode:
+    def test_ping_pong_with_msg_wait(self):
+        world = SimWorld(star())
+        log = {}
+
+        def server(proc):
+            proc.msgtype_declare("ping", "int")
+            proc.msgtype_declare("pong", "int")
+            proc.socket_server(4000)
+            source, payload = proc.msg_wait(60.0, "ping")
+            proc.msg_send(proc.socket_client(source.host, source.port),
+                          "pong", payload * 2)
+
+        def client(proc):
+            proc.msgtype_declare("ping", "int")
+            proc.msgtype_declare("pong", "int")
+            proc.socket_server(4001)
+            proc.os_sleep(0.5)
+            proc.msg_send(proc.socket_client("leaf-1", 4000), "ping", 21)
+            _, answer = proc.msg_wait(60.0, "pong")
+            log["answer"] = answer
+            log["time"] = proc.os_time()
+
+        world.add_process("server", "leaf-1", server)
+        world.add_process("client", "leaf-0", client)
+        world.run()
+        assert log["answer"] == 42
+        assert log["time"] > 0.5
+
+    def test_callback_dispatch_with_msg_handle(self):
+        world = SimWorld(star())
+        handled = []
+
+        def server(proc):
+            proc.msgtype_declare("ping", "int")
+
+            def on_ping(p, source, payload):
+                handled.append(payload)
+
+            proc.cb_register("ping", on_ping)
+            proc.socket_server(4000)
+            assert proc.msg_handle(60.0)
+
+        def client(proc):
+            proc.msgtype_declare("ping", "int")
+            proc.socket_server(4001)
+            proc.msg_send(proc.socket_client("leaf-1", 4000), "ping", 7)
+
+        world.add_process("server", "leaf-1", server)
+        world.add_process("client", "leaf-0", client)
+        world.run()
+        assert handled == [7]
+
+    def test_msg_handle_without_callback_raises(self):
+        world = SimWorld(star())
+        errors = []
+
+        def server(proc):
+            proc.msgtype_declare("mystery", "int")
+            proc.socket_server(4000)
+            try:
+                proc.msg_handle(60.0)
+            except UnknownMessageError:
+                errors.append("unknown")
+
+        def client(proc):
+            proc.msgtype_declare("mystery", "int")
+            proc.socket_server(4001)
+            proc.msg_send(proc.socket_client("leaf-1", 4000), "mystery", 1)
+
+        world.add_process("server", "leaf-1", server)
+        world.add_process("client", "leaf-0", client)
+        world.run()
+        assert errors == ["unknown"]
+
+    def test_msg_wait_buffers_unexpected_types(self):
+        world = SimWorld(star())
+        order = []
+
+        def server(proc):
+            proc.msgtype_declare("a", "int")
+            proc.msgtype_declare("b", "int")
+            proc.socket_server(4000)
+            # wait for "b" first even though "a" arrives first
+            _, b_val = proc.msg_wait(60.0, "b")
+            order.append(("b", b_val))
+            _, a_val = proc.msg_wait(60.0, "a")
+            order.append(("a", a_val))
+
+        def client(proc):
+            proc.msgtype_declare("a", "int")
+            proc.msgtype_declare("b", "int")
+            proc.socket_server(4001)
+            peer = proc.socket_client("leaf-1", 4000)
+            proc.msg_send(peer, "a", 1)
+            proc.msg_send(peer, "b", 2)
+
+        world.add_process("server", "leaf-1", server)
+        world.add_process("client", "leaf-0", client)
+        world.run()
+        assert order == [("b", 2), ("a", 1)]
+
+    def test_msg_wait_timeout(self):
+        world = SimWorld(star())
+        outcome = {}
+
+        def lonely(proc):
+            proc.msgtype_declare("ping", "int")
+            proc.socket_server(4000)
+            try:
+                proc.msg_wait(3.0, "ping")
+            except SimTimeoutError:
+                outcome["timeout_at"] = proc.os_time()
+
+        world.add_process("lonely", "leaf-0", lonely)
+        world.run()
+        assert outcome["timeout_at"] == pytest.approx(3.0, abs=1e-6)
+
+    def test_msg_handle_timeout_returns_false(self):
+        world = SimWorld(star())
+        outcome = {}
+
+        def lonely(proc):
+            proc.msgtype_declare("ping", "int")
+            proc.cb_register("ping", lambda *a: None)
+            proc.socket_server(4000)
+            outcome["handled"] = proc.msg_handle(2.0)
+
+        world.add_process("lonely", "leaf-0", lonely)
+        world.run()
+        assert outcome["handled"] is False
+
+    def test_cross_architecture_payload(self):
+        world = SimWorld(star(), arch_by_host={"leaf-0": "x86",
+                                               "leaf-1": "powerpc"})
+        received = {}
+
+        def server(proc):
+            proc.msgtype_declare("numbers", "double")
+            proc.socket_server(4000)
+            _, value = proc.msg_wait(60.0, "numbers")
+            received["value"] = value
+
+        def client(proc):
+            proc.msgtype_declare("numbers", "double")
+            proc.socket_server(4001)
+            proc.msg_send(proc.socket_client("leaf-1", 4000), "numbers",
+                          2.718281828)
+
+        world.add_process("server", "leaf-1", server)
+        world.add_process("client", "leaf-0", client)
+        world.run()
+        assert received["value"] == pytest.approx(2.718281828)
+
+    def test_bench_always_injects_simulated_time(self):
+        world = SimWorld(star())
+        times = {}
+
+        def worker(proc):
+            start = proc.os_time()
+            with proc.bench_always("spin"):
+                total = 0
+                for i in range(50000):
+                    total += i
+            times["elapsed"] = proc.os_time() - start
+
+        world.add_process("worker", "leaf-0", worker)
+        world.run()
+        assert times["elapsed"] > 0.0
+
+    def test_message_size_drives_transfer_time(self):
+        """A bigger payload takes longer on the same (slow) link."""
+        durations = {}
+        for label, count in (("small", 10), ("large", 100000)):
+            world = SimWorld(make_star(num_hosts=2, link_bandwidth=1e5,
+                                       link_latency=1e-4))
+
+            def server(proc):
+                from repro.gras.datadesc import ArrayDesc, ScalarDesc
+                proc.msgtype_declare("blob", ArrayDesc(ScalarDesc("uint8")))
+                proc.socket_server(4000)
+                proc.msg_wait(600.0, "blob")
+
+            def client(proc, n):
+                from repro.gras.datadesc import ArrayDesc, ScalarDesc
+                proc.msgtype_declare("blob", ArrayDesc(ScalarDesc("uint8")))
+                proc.socket_server(4001)
+                proc.msg_send(proc.socket_client("leaf-1", 4000), "blob",
+                              [0] * n)
+
+            world.add_process("server", "leaf-1", server)
+            world.add_process("client", "leaf-0", client, count)
+            durations[label] = world.run()
+        assert durations["large"] > durations["small"] * 10
+
+
+class TestRealLifeMode:
+    def test_real_ping_pong_over_localhost(self):
+        world = RlWorld()
+        log = {}
+
+        def server(proc):
+            proc.msgtype_declare("ping", "int")
+            proc.msgtype_declare("pong", "int")
+            proc.socket_server(4310)
+            source, payload = proc.msg_wait(10.0, "ping")
+            proc.msg_send(proc.socket_client(source.host, source.port),
+                          "pong", payload + 1)
+
+        def client(proc):
+            proc.msgtype_declare("ping", "int")
+            proc.msgtype_declare("pong", "int")
+            proc.socket_server(0)
+            proc.os_sleep(0.2)
+            proc.msg_send(proc.socket_client("127.0.0.1", 4310), "ping", 41)
+            _, answer = proc.msg_wait(10.0, "pong")
+            log["answer"] = answer
+
+        world.add_process("server", server)
+        world.add_process("client", client)
+        world.run(timeout=20.0)
+        assert log["answer"] == 42
+
+    def test_real_cross_architecture_encoding(self):
+        """Payloads encoded with a big-endian layout decode correctly."""
+        world = RlWorld()
+        received = {}
+
+        def server(proc):
+            proc.msgtype_declare("value", "int")
+            proc.socket_server(4311)
+            _, value = proc.msg_wait(10.0, "value")
+            received["value"] = value
+
+        def client(proc):
+            proc.msgtype_declare("value", "int")
+            proc.socket_server(0)
+            proc.os_sleep(0.2)
+            proc.msg_send(proc.socket_client("127.0.0.1", 4311), "value",
+                          123456789)
+
+        world.add_process("server", server, arch="x86")
+        world.add_process("client", client, arch="sparc")
+        world.run(timeout=20.0)
+        assert received["value"] == 123456789
+
+    def test_rl_errors_are_reported(self):
+        world = RlWorld()
+
+        def buggy(proc):
+            raise ValueError("application bug")
+
+        world.add_process("buggy", buggy)
+        with pytest.raises(ValueError):
+            world.run(timeout=10.0)
+
+
+class TestBenchRecorder:
+    def test_record_averages(self):
+        recorder = BenchRecorder()
+        recorder.record("k", 1.0)
+        recorder.record("k", 3.0)
+        assert recorder.duration_of("k") == pytest.approx(2.0)
+        assert recorder.count_of("k") == 2
+        assert recorder.has("k")
+
+    def test_missing_key(self):
+        recorder = BenchRecorder()
+        with pytest.raises(KeyError):
+            recorder.duration_of("missing")
+
+    def test_negative_duration_rejected(self):
+        recorder = BenchRecorder()
+        with pytest.raises(ValueError):
+            recorder.record("k", -1.0)
+
+    def test_clear(self):
+        recorder = BenchRecorder()
+        recorder.record("k", 1.0)
+        recorder.clear()
+        assert not recorder.has("k")

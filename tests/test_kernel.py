@@ -1,0 +1,218 @@
+"""Tests for the kernel layer: timers and process contexts."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ProcessKilledError
+from repro.kernel.context import (
+    FINISHED,
+    GeneratorContextFactory,
+    ThreadContextFactory,
+    make_context_factory,
+)
+from repro.kernel.simcall import SleepCall, YieldCall
+from repro.kernel.timer import TimerQueue
+
+
+class TestTimerQueue:
+    def test_fire_in_order(self):
+        queue = TimerQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(3.0, lambda: fired.append("c"))
+        assert queue.next_date() == 1.0
+        count = queue.fire_until(2.5)
+        assert count == 2
+        assert fired == ["a", "b"]
+        assert queue.next_date() == 3.0
+
+    def test_cancelled_timer_does_not_fire(self):
+        queue = TimerQueue()
+        fired = []
+        timer = queue.schedule(1.0, lambda: fired.append("x"))
+        timer.cancel()
+        assert queue.fire_until(10.0) == 0
+        assert fired == []
+        assert queue.next_date() == math.inf
+
+    def test_len_and_bool_count_pending_only(self):
+        queue = TimerQueue()
+        t1 = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        assert bool(queue)
+        t1.cancel()
+        assert len(queue) == 1
+        queue.fire_until(5.0)
+        assert not queue
+
+    def test_negative_date_rejected(self):
+        queue = TimerQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0, lambda: None)
+
+    def test_timer_scheduled_during_fire_is_honoured(self):
+        queue = TimerQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            queue.schedule(0.5, lambda: fired.append("nested"))
+
+        queue.schedule(1.0, first)
+        queue.fire_until(2.0)
+        assert fired == ["first", "nested"]
+
+
+class TestGeneratorContext:
+    def test_yields_simcalls_and_finishes(self):
+        def body(tag):
+            value = yield SleepCall(duration=1.0)
+            assert value == "woke"
+            yield YieldCall()
+
+        factory = GeneratorContextFactory()
+        ctx = factory.create(body, ("x",), {})
+        ctx.start()
+        first = ctx.resume()
+        assert isinstance(first, SleepCall)
+        second = ctx.resume("woke")
+        assert isinstance(second, YieldCall)
+        assert ctx.resume() is FINISHED
+        assert ctx.finished
+
+    def test_plain_function_finishes_immediately(self):
+        calls = []
+
+        def body(tag):
+            calls.append(tag)
+
+        factory = GeneratorContextFactory()
+        ctx = factory.create(body, ("ran",), {})
+        ctx.start()
+        assert ctx.resume() is FINISHED
+        assert calls == ["ran"]
+
+    def test_exception_is_delivered_into_the_generator(self):
+        caught = []
+
+        def body():
+            try:
+                yield SleepCall(duration=1.0)
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        factory = GeneratorContextFactory()
+        ctx = factory.create(body, (), {})
+        ctx.start()
+        ctx.resume()
+        assert ctx.resume(exception=RuntimeError("boom")) is FINISHED
+        assert caught == ["boom"]
+
+    def test_non_simcall_yield_rejected(self):
+        def body():
+            yield 42
+
+        factory = GeneratorContextFactory()
+        ctx = factory.create(body, (), {})
+        ctx.start()
+        with pytest.raises(TypeError):
+            ctx.resume()
+
+    def test_kill_runs_finally_blocks(self):
+        cleaned = []
+
+        def body():
+            try:
+                yield SleepCall(duration=100.0)
+            finally:
+                cleaned.append(True)
+
+        factory = GeneratorContextFactory()
+        ctx = factory.create(body, (), {})
+        ctx.start()
+        ctx.resume()
+        ctx.kill()
+        assert ctx.finished
+        assert cleaned == [True]
+
+    def test_kill_before_start(self):
+        def body():
+            yield SleepCall(duration=1.0)
+
+        factory = GeneratorContextFactory()
+        ctx = factory.create(body, (), {})
+        ctx.start()
+        ctx.kill()
+        assert ctx.finished
+
+
+class TestThreadContext:
+    def test_blocking_calls_round_trip(self):
+        log = []
+
+        def body(ctx_holder):
+            result = ctx_holder["ctx"].block(SleepCall(duration=2.0))
+            log.append(result)
+
+        factory = ThreadContextFactory()
+        holder = {}
+        ctx = factory.create(body, (holder,), {})
+        holder["ctx"] = ctx
+        ctx.start()
+        request = ctx.resume()
+        assert isinstance(request, SleepCall)
+        assert request.duration == 2.0
+        assert ctx.resume("result-value") is FINISHED
+        assert log == ["result-value"]
+
+    def test_exception_delivered_to_thread(self):
+        caught = []
+
+        def body(holder):
+            try:
+                holder["ctx"].block(SleepCall(duration=1.0))
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        factory = ThreadContextFactory()
+        holder = {}
+        ctx = factory.create(body, (holder,), {})
+        holder["ctx"] = ctx
+        ctx.start()
+        ctx.resume()
+        assert ctx.resume(exception=RuntimeError("bang")) is FINISHED
+        assert caught == ["bang"]
+
+    def test_kill_unblocks_thread(self):
+        def body(holder):
+            holder["ctx"].block(SleepCall(duration=100.0))
+
+        factory = ThreadContextFactory()
+        holder = {}
+        ctx = factory.create(body, (holder,), {})
+        holder["ctx"] = ctx
+        ctx.start()
+        ctx.resume()
+        ctx.kill()
+        assert ctx.finished
+
+    def test_body_exception_propagates_to_kernel(self):
+        def body():
+            raise ValueError("user bug")
+
+        factory = ThreadContextFactory()
+        ctx = factory.create(body, (), {})
+        ctx.start()
+        with pytest.raises(ValueError):
+            ctx.resume()
+
+
+class TestFactorySelection:
+    def test_make_context_factory(self):
+        assert make_context_factory("generator").name == "generator"
+        assert make_context_factory("thread").name == "thread"
+        with pytest.raises(ValueError):
+            make_context_factory("fibers")

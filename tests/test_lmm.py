@@ -1,0 +1,341 @@
+"""Unit and property tests for the Linear MaxMin solver (repro.surf.lmm)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.surf.lmm import MaxMinSystem
+
+
+def make_single_link(capacity=100.0, weights=(1.0, 1.0)):
+    system = MaxMinSystem()
+    link = system.new_constraint(capacity)
+    variables = []
+    for weight in weights:
+        var = system.new_variable(weight=weight)
+        system.expand(link, var)
+        variables.append(var)
+    return system, link, variables
+
+
+class TestBasicSharing:
+    def test_single_variable_gets_full_capacity(self):
+        system, _, (var,) = make_single_link(weights=(1.0,))
+        system.solve()
+        assert var.value == pytest.approx(100.0)
+
+    def test_two_equal_variables_split_evenly(self):
+        system, _, (a, b) = make_single_link()
+        system.solve()
+        assert a.value == pytest.approx(50.0)
+        assert b.value == pytest.approx(50.0)
+
+    def test_weighted_sharing_proportional_to_weights(self):
+        system, _, (a, b) = make_single_link(weights=(1.0, 3.0))
+        system.solve()
+        assert a.value == pytest.approx(25.0)
+        assert b.value == pytest.approx(75.0)
+
+    def test_many_variables_fair_share(self):
+        system, _, variables = make_single_link(weights=(1.0,) * 10)
+        system.solve()
+        for var in variables:
+            assert var.value == pytest.approx(10.0)
+
+    def test_zero_weight_variable_gets_nothing(self):
+        system, _, (a, b) = make_single_link(weights=(1.0, 0.0))
+        system.solve()
+        assert a.value == pytest.approx(100.0)
+        assert b.value == 0.0
+
+    def test_variable_without_constraint_unbounded(self):
+        system = MaxMinSystem()
+        var = system.new_variable()
+        system.solve()
+        assert math.isinf(var.value)
+
+    def test_variable_without_constraint_respects_bound(self):
+        system = MaxMinSystem()
+        var = system.new_variable(bound=42.0)
+        system.solve()
+        assert var.value == pytest.approx(42.0)
+
+
+class TestBounds:
+    def test_bound_below_fair_share_redistributes(self):
+        system = MaxMinSystem()
+        link = system.new_constraint(100.0)
+        a = system.new_variable(bound=10.0)
+        b = system.new_variable()
+        system.expand(link, a)
+        system.expand(link, b)
+        system.solve()
+        assert a.value == pytest.approx(10.0)
+        assert b.value == pytest.approx(90.0)
+
+    def test_bound_above_fair_share_is_inactive(self):
+        system = MaxMinSystem()
+        link = system.new_constraint(100.0)
+        a = system.new_variable(bound=80.0)
+        b = system.new_variable()
+        system.expand(link, a)
+        system.expand(link, b)
+        system.solve()
+        assert a.value == pytest.approx(50.0)
+        assert b.value == pytest.approx(50.0)
+
+    def test_update_bound_takes_effect_on_next_solve(self):
+        system, _, (a, b) = make_single_link()
+        system.solve()
+        system.update_variable_bound(a, 5.0)
+        system.solve()
+        assert a.value == pytest.approx(5.0)
+        assert b.value == pytest.approx(95.0)
+
+
+class TestMultiResource:
+    def test_two_links_bottleneck_is_smallest(self):
+        system = MaxMinSystem()
+        fast = system.new_constraint(100.0)
+        slow = system.new_constraint(10.0)
+        flow = system.new_variable()
+        system.expand(fast, flow)
+        system.expand(slow, flow)
+        system.solve()
+        assert flow.value == pytest.approx(10.0)
+
+    def test_cross_traffic_classic_example(self):
+        # Flow A uses links 1 and 2; flow B uses link 1; flow C uses link 2.
+        # Link capacities 10 each: A gets 5, B gets 5, C gets 5.
+        system = MaxMinSystem()
+        link1 = system.new_constraint(10.0)
+        link2 = system.new_constraint(10.0)
+        a = system.new_variable()
+        b = system.new_variable()
+        c = system.new_variable()
+        system.expand(link1, a)
+        system.expand(link2, a)
+        system.expand(link1, b)
+        system.expand(link2, c)
+        system.solve()
+        assert a.value == pytest.approx(5.0)
+        assert b.value == pytest.approx(5.0)
+        assert c.value == pytest.approx(5.0)
+
+    def test_unbalanced_cross_traffic(self):
+        # link1 capacity 10 shared by A and B; link2 capacity 100 used by A
+        # only: A and B each get 5; link2 is not limiting.
+        system = MaxMinSystem()
+        link1 = system.new_constraint(10.0)
+        link2 = system.new_constraint(100.0)
+        a = system.new_variable()
+        b = system.new_variable()
+        system.expand(link1, a)
+        system.expand(link2, a)
+        system.expand(link1, b)
+        system.solve()
+        assert a.value == pytest.approx(5.0)
+        assert b.value == pytest.approx(5.0)
+
+    def test_paper_figure_four_tasks_two_resources(self):
+        """The MaxMin illustration of the paper's SURF panel (E5 shape)."""
+        system = MaxMinSystem()
+        r1 = system.new_constraint(1.0)
+        r2 = system.new_constraint(1.0)
+        # proc 1 and 2 use resource 1, proc 3 and 4 use resource 2,
+        # proc 2 also crosses resource 2 (interference pattern)
+        p1 = system.new_variable()
+        p2 = system.new_variable()
+        p3 = system.new_variable()
+        p4 = system.new_variable()
+        system.expand(r1, p1)
+        system.expand(r1, p2)
+        system.expand(r2, p2)
+        system.expand(r2, p3)
+        system.expand(r2, p4)
+        system.solve()
+        assert system.check_feasible()
+        # resource 2 is the bottleneck: three tasks -> 1/3 each
+        assert p2.value == pytest.approx(1.0 / 3.0)
+        assert p3.value == pytest.approx(1.0 / 3.0)
+        assert p4.value == pytest.approx(1.0 / 3.0)
+        # p1 then takes what remains of resource 1
+        assert p1.value == pytest.approx(2.0 / 3.0)
+
+
+class TestFatPipe:
+    def test_fatpipe_does_not_share(self):
+        system = MaxMinSystem()
+        backbone = system.new_constraint(100.0, shared=False)
+        a = system.new_variable()
+        b = system.new_variable()
+        system.expand(backbone, a)
+        system.expand(backbone, b)
+        system.solve()
+        assert a.value == pytest.approx(100.0)
+        assert b.value == pytest.approx(100.0)
+
+    def test_fatpipe_still_caps_individual_flows(self):
+        system = MaxMinSystem()
+        backbone = system.new_constraint(100.0, shared=False)
+        access = system.new_constraint(300.0)
+        a = system.new_variable()
+        system.expand(backbone, a)
+        system.expand(access, a)
+        system.solve()
+        assert a.value == pytest.approx(100.0)
+
+
+class TestMutation:
+    def test_remove_variable_frees_capacity(self):
+        system, link, (a, b) = make_single_link()
+        system.solve()
+        system.remove_variable(a)
+        system.solve()
+        assert b.value == pytest.approx(100.0)
+        assert len(link.elements) == 1
+
+    def test_update_capacity(self):
+        system, link, (a, b) = make_single_link()
+        system.update_constraint_capacity(link, 20.0)
+        system.solve()
+        assert a.value == pytest.approx(10.0)
+        assert b.value == pytest.approx(10.0)
+
+    def test_expand_twice_accumulates_usage(self):
+        # A route crossing the same link twice consumes it twice.
+        system = MaxMinSystem()
+        link = system.new_constraint(100.0)
+        var = system.new_variable()
+        system.expand(link, var, 1.0)
+        system.expand(link, var, 1.0)
+        system.solve()
+        assert var.value == pytest.approx(50.0)
+
+    def test_suspend_via_weight_and_resume(self):
+        system, _, (a, b) = make_single_link()
+        system.update_variable_weight(a, 0.0)
+        system.solve()
+        assert a.value == 0.0
+        assert b.value == pytest.approx(100.0)
+        system.update_variable_weight(a, 1.0)
+        system.solve()
+        assert a.value == pytest.approx(50.0)
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self):
+        system = MaxMinSystem()
+        with pytest.raises(ValueError):
+            system.new_variable(weight=-1.0)
+
+    def test_negative_capacity_rejected(self):
+        system = MaxMinSystem()
+        with pytest.raises(ValueError):
+            system.new_constraint(-5.0)
+
+    def test_negative_usage_rejected(self):
+        system = MaxMinSystem()
+        link = system.new_constraint(10.0)
+        var = system.new_variable()
+        with pytest.raises(ValueError):
+            system.expand(link, var, -1.0)
+
+
+# ----------------------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------------------
+
+@st.composite
+def random_system(draw):
+    """A random LMM system plus its construction recipe."""
+    num_constraints = draw(st.integers(min_value=1, max_value=5))
+    num_variables = draw(st.integers(min_value=1, max_value=8))
+    capacities = [draw(st.floats(min_value=1.0, max_value=1000.0))
+                  for _ in range(num_constraints)]
+    weights = [draw(st.floats(min_value=0.1, max_value=10.0))
+               for _ in range(num_variables)]
+    bounds = [draw(st.one_of(st.none(),
+                             st.floats(min_value=0.5, max_value=500.0)))
+              for _ in range(num_variables)]
+    # each variable uses a non-empty subset of constraints
+    usage = [draw(st.lists(st.integers(min_value=0,
+                                       max_value=num_constraints - 1),
+                           min_size=1, max_size=num_constraints,
+                           unique=True))
+             for _ in range(num_variables)]
+    return capacities, weights, bounds, usage
+
+
+def build(capacities, weights, bounds, usage):
+    system = MaxMinSystem()
+    constraints = [system.new_constraint(c) for c in capacities]
+    variables = []
+    for weight, bound, used in zip(weights, bounds, usage):
+        var = system.new_variable(weight=weight, bound=bound)
+        for cons_idx in used:
+            system.expand(constraints[cons_idx], var)
+        variables.append(var)
+    return system, constraints, variables
+
+
+@settings(max_examples=200, deadline=None)
+@given(random_system())
+def test_property_solution_is_feasible(recipe):
+    """No constraint capacity nor variable bound is ever exceeded."""
+    system, _, _ = build(*recipe)
+    system.solve()
+    assert system.check_feasible()
+
+
+@settings(max_examples=200, deadline=None)
+@given(random_system())
+def test_property_no_variable_starves(recipe):
+    """Every variable with positive weight and a constraint gets a rate > 0."""
+    system, _, variables = build(*recipe)
+    system.solve()
+    for var in variables:
+        assert var.value > 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_system())
+def test_property_maxmin_optimality(recipe):
+    """No single variable can be increased without breaking feasibility.
+
+    This is the Pareto-optimality half of max-min fairness: after solving,
+    every variable is blocked either by its bound or by a saturated
+    constraint.
+    """
+    system, constraints, variables = build(*recipe)
+    system.solve()
+    tol = 1e-6
+    for var in variables:
+        at_bound = var.bound is not None and var.value >= var.bound * (1 - tol)
+        saturated = False
+        for elem in var.elements:
+            cns = elem.constraint
+            if not cns.shared:
+                continue
+            if cns.usage_total() >= cns.capacity * (1 - tol) - tol:
+                saturated = True
+                break
+        assert at_bound or saturated, (
+            f"variable {var.id} (value {var.value}) is not blocked by "
+            "anything - allocation is not max-min optimal")
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=20),
+       st.floats(min_value=1.0, max_value=1e6))
+def test_property_equal_weights_equal_shares(num_vars, capacity):
+    """N identical variables on one resource each get capacity / N."""
+    system = MaxMinSystem()
+    link = system.new_constraint(capacity)
+    variables = [system.new_variable() for _ in range(num_vars)]
+    for var in variables:
+        system.expand(link, var)
+    system.solve()
+    for var in variables:
+        assert var.value == pytest.approx(capacity / num_vars, rel=1e-6)

@@ -1,0 +1,326 @@
+"""Tests for asynchronous MSG communication, timeouts, failures and deadlock."""
+
+import pytest
+
+from repro import (
+    DeadlockError,
+    Environment,
+    HostFailureError,
+    SimTimeoutError,
+    Task,
+    TransferFailureError,
+)
+from repro.platform import Platform
+from repro.surf.trace import Trace
+
+
+def pair_platform(bandwidth=1e6, latency=0.0, host_traces=None):
+    platform = Platform("pair")
+    traces = host_traces or {}
+    platform.add_host("alice", 1e9, state_trace=traces.get("alice"))
+    platform.add_host("bob", 1e9, state_trace=traces.get("bob"))
+    platform.add_link("wire", bandwidth, latency,
+                      state_trace=traces.get("wire"))
+    platform.connect("alice", "bob", "wire")
+    return platform
+
+
+class TestAsyncCommunication:
+    def test_isend_then_wait(self):
+        env = Environment(pair_platform())
+        times = {}
+
+        def sender(proc):
+            comm = yield proc.isend(Task("d", data_size=1e6), "box")
+            yield proc.execute(5e8)            # overlap compute + comm
+            yield proc.wait(comm)
+            times["sender_done"] = proc.now
+
+        def receiver(proc):
+            task = yield proc.receive("box")
+            times["received"] = (task.name, proc.now)
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert times["received"][0] == "d"
+        assert times["received"][1] == pytest.approx(1.0)
+        assert times["sender_done"] == pytest.approx(1.0)
+
+    def test_irecv_then_wait_returns_task(self):
+        env = Environment(pair_platform())
+        got = {}
+
+        def sender(proc):
+            yield proc.send(Task("payload", data_size=1e6), "box")
+
+        def receiver(proc):
+            comm = yield proc.irecv("box")
+            task = yield proc.wait(comm)
+            got["task"] = task.name
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert got["task"] == "payload"
+
+    def test_dsend_is_fire_and_forget(self):
+        env = Environment(pair_platform())
+        times = {}
+
+        def sender(proc):
+            yield proc.dsend(Task("d", data_size=1e6), "box")
+            times["sender_returned"] = proc.now
+
+        def receiver(proc):
+            yield proc.receive("box")
+            times["received"] = proc.now
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert times["sender_returned"] == pytest.approx(0.0)
+        assert times["received"] == pytest.approx(1.0)
+
+    def test_wait_any_returns_first_completed_index(self):
+        env = Environment(pair_platform())
+        result = {}
+
+        def sender(proc, box, size):
+            yield proc.send(Task(box, data_size=size), box)
+
+        def receiver(proc):
+            slow = yield proc.irecv("slow")
+            fast = yield proc.irecv("fast")
+            index = yield proc.wait_any([slow, fast])
+            result["index"] = index
+            result["time"] = proc.now
+            # drain the other one too
+            yield proc.wait(slow if index == 1 else fast)
+
+        env.create_process("s-slow", "alice", sender, "slow", 4e6)
+        env.create_process("s-fast", "alice", sender, "fast", 1e6)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert result["index"] == 1          # "fast" completes first
+        assert result["time"] < 4.0
+
+    def test_test_polls_without_blocking(self):
+        env = Environment(pair_platform())
+        polls = []
+
+        def sender(proc):
+            yield proc.sleep(2.0)
+            yield proc.send(Task("d", data_size=1e6), "box")
+
+        def receiver(proc):
+            comm = yield proc.irecv("box")
+            done_now = yield proc.test(comm)
+            polls.append(done_now)
+            yield proc.sleep(5.0)
+            done_later = yield proc.test(comm)
+            polls.append(done_later)
+            yield proc.wait(comm)
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert polls == [False, True]
+
+
+class TestTimeouts:
+    def test_receive_timeout_raises(self):
+        env = Environment(pair_platform())
+        outcome = {}
+
+        def lonely(proc):
+            try:
+                yield proc.receive("nowhere", timeout=3.0)
+            except SimTimeoutError:
+                outcome["timeout_at"] = proc.now
+
+        env.create_process("lonely", "alice", lonely)
+        env.run()
+        assert outcome["timeout_at"] == pytest.approx(3.0)
+
+    def test_send_timeout_raises(self):
+        env = Environment(pair_platform())
+        outcome = {}
+
+        def impatient(proc):
+            try:
+                yield proc.send(Task("d", data_size=1e6), "void", timeout=2.0)
+            except SimTimeoutError:
+                outcome["timeout_at"] = proc.now
+
+        env.create_process("impatient", "alice", impatient)
+        env.run()
+        assert outcome["timeout_at"] == pytest.approx(2.0)
+
+    def test_timeout_does_not_fire_when_comm_completes_first(self):
+        env = Environment(pair_platform())
+        outcome = {"timeout": False}
+
+        def sender(proc):
+            yield proc.send(Task("d", data_size=1e6), "box", timeout=100.0)
+
+        def receiver(proc):
+            try:
+                task = yield proc.receive("box", timeout=100.0)
+                outcome["task"] = task.name
+            except SimTimeoutError:
+                outcome["timeout"] = True
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert outcome["task"] == "d"
+        assert not outcome["timeout"]
+
+    def test_started_transfer_timeout_fails_the_peer(self):
+        # A very slow transfer: the receiver times out mid-transfer and the
+        # sender observes a transfer failure.
+        env = Environment(pair_platform(bandwidth=1e3))
+        outcome = {}
+
+        def sender(proc):
+            try:
+                yield proc.send(Task("huge", data_size=1e9), "box")
+            except TransferFailureError:
+                outcome["sender"] = ("failed", proc.now)
+
+        def receiver(proc):
+            try:
+                yield proc.receive("box", timeout=10.0)
+            except SimTimeoutError:
+                outcome["receiver"] = ("timeout", proc.now)
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert outcome["receiver"] == ("timeout", pytest.approx(10.0))
+        assert outcome["sender"][0] == "failed"
+
+
+class TestFailures:
+    def test_host_failure_kills_its_processes(self):
+        trace = Trace([(5.0, 0.0)], name="alice-death")
+        env = Environment(pair_platform(host_traces={"alice": trace}))
+        log = []
+
+        def worker(proc):
+            try:
+                yield proc.execute(1e12)
+                log.append("finished")
+            finally:
+                log.append(("interrupted", proc.now))
+
+        env.create_process("worker", "alice", worker)
+        env.run()
+        assert ("interrupted", pytest.approx(5.0)) in log
+        assert "finished" not in log
+
+    def test_transfer_fails_when_peer_host_dies(self):
+        trace = Trace([(2.0, 0.0)], name="bob-death")
+        env = Environment(pair_platform(bandwidth=1e5,
+                                        host_traces={"bob": trace}))
+        outcome = {}
+
+        def sender(proc):
+            try:
+                yield proc.send(Task("d", data_size=1e7), "box")
+            except TransferFailureError:
+                outcome["sender"] = ("transfer-failure", proc.now)
+
+        def receiver(proc):
+            yield proc.receive("box")
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert outcome["sender"] == ("transfer-failure", pytest.approx(2.0))
+
+    def test_link_failure_fails_the_transfer(self):
+        trace = Trace([(1.0, 0.0)], name="wire-death")
+        env = Environment(pair_platform(bandwidth=1e5,
+                                        host_traces={"wire": trace}))
+        outcome = {}
+
+        def sender(proc):
+            try:
+                yield proc.send(Task("d", data_size=1e7), "box")
+            except TransferFailureError:
+                outcome["sender_failed_at"] = proc.now
+
+        def receiver(proc):
+            try:
+                yield proc.receive("box")
+            except TransferFailureError:
+                outcome["receiver_failed_at"] = proc.now
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert outcome["sender_failed_at"] == pytest.approx(1.0)
+        assert outcome["receiver_failed_at"] == pytest.approx(1.0)
+
+    def test_execute_on_dead_host_raises_host_failure(self):
+        env = Environment(pair_platform())
+        outcome = {}
+
+        def worker(proc):
+            yield proc.sleep(1.0)
+            try:
+                yield proc.execute(1e9, host=proc.env.host("bob"))
+            except HostFailureError:
+                outcome["refused"] = True
+
+        def saboteur(proc):
+            yield proc.sleep(0.5)
+            proc.env.host("bob").turn_off()
+
+        env.create_process("worker", "alice", worker)
+        env.create_process("saboteur", "alice", saboteur)
+        env.run()
+        assert outcome.get("refused") is True
+
+    def test_explicit_host_turn_off_and_on(self):
+        env = Environment(pair_platform())
+        host = env.host("bob")
+        assert host.is_on
+        host.turn_off()
+        assert not host.is_on
+        host.turn_on()
+        assert host.is_on
+
+
+class TestDeadlock:
+    def test_deadlock_detected_and_simulation_ends(self):
+        env = Environment(pair_platform())
+
+        def waiter(proc):
+            yield proc.receive("never")
+
+        env.create_process("waiter", "alice", waiter)
+        env.run()
+        assert env.deadlocked
+
+    def test_deadlock_raises_when_requested(self):
+        env = Environment(pair_platform(), raise_on_deadlock=True)
+
+        def waiter(proc):
+            yield proc.receive("never")
+
+        env.create_process("waiter", "alice", waiter)
+        with pytest.raises(DeadlockError):
+            env.run()
+
+    def test_no_deadlock_flag_on_clean_termination(self):
+        env = Environment(pair_platform())
+
+        def quick(proc):
+            yield proc.sleep(1.0)
+
+        env.create_process("quick", "alice", quick)
+        env.run()
+        assert not env.deadlocked

@@ -1,0 +1,312 @@
+"""Tests for basic MSG behaviour: executions, rendezvous communication, timing."""
+
+import pytest
+
+from repro import Environment, Task
+from repro.msg import MSG_task_create, MFLOP, MBYTE
+from repro.platform import Platform, make_star
+
+
+def two_host_platform(speed=1e9, bandwidth=1e6, latency=0.0):
+    platform = Platform("pair")
+    platform.add_host("alice", speed)
+    platform.add_host("bob", speed)
+    platform.add_link("wire", bandwidth, latency)
+    platform.connect("alice", "bob", "wire")
+    return platform
+
+
+class TestExecution:
+    def test_execute_duration_matches_speed(self):
+        env = Environment(two_host_platform(speed=1e9))
+        times = {}
+
+        def worker(proc):
+            yield proc.execute(2e9)
+            times["done"] = proc.now
+
+        env.create_process("worker", "alice", worker)
+        env.run()
+        assert times["done"] == pytest.approx(2.0)
+
+    def test_execute_task_object(self):
+        env = Environment(two_host_platform(speed=1e8))
+        times = {}
+
+        def worker(proc):
+            yield proc.execute(Task("t", compute_amount=5e8))
+            times["done"] = proc.now
+
+        env.create_process("worker", "alice", worker)
+        env.run()
+        assert times["done"] == pytest.approx(5.0)
+
+    def test_two_processes_share_the_host(self):
+        env = Environment(two_host_platform(speed=1e9))
+        times = {}
+
+        def worker(proc, key):
+            yield proc.execute(1e9)
+            times[key] = proc.now
+
+        env.create_process("w1", "alice", worker, "w1")
+        env.create_process("w2", "alice", worker, "w2")
+        env.run()
+        assert times["w1"] == pytest.approx(2.0)
+        assert times["w2"] == pytest.approx(2.0)
+
+    def test_processes_on_different_hosts_do_not_interfere(self):
+        env = Environment(two_host_platform(speed=1e9))
+        times = {}
+
+        def worker(proc, key):
+            yield proc.execute(1e9)
+            times[key] = proc.now
+
+        env.create_process("w1", "alice", worker, "w1")
+        env.create_process("w2", "bob", worker, "w2")
+        env.run()
+        assert times["w1"] == pytest.approx(1.0)
+        assert times["w2"] == pytest.approx(1.0)
+
+    def test_execution_priority(self):
+        env = Environment(two_host_platform(speed=1e9))
+        times = {}
+
+        def worker(proc, key, priority):
+            yield proc.execute(1e9, priority=priority)
+            times[key] = proc.now
+
+        env.create_process("high", "alice", worker, "high", 3.0)
+        env.create_process("low", "alice", worker, "low", 1.0)
+        env.run()
+        assert times["high"] < times["low"]
+
+    def test_sleep_advances_time_without_cpu(self):
+        env = Environment(two_host_platform())
+        times = {}
+
+        def sleeper(proc):
+            yield proc.sleep(12.5)
+            times["woke"] = proc.now
+
+        env.create_process("sleeper", "alice", sleeper)
+        env.run()
+        assert times["woke"] == pytest.approx(12.5)
+
+
+class TestCommunication:
+    def test_transfer_time_includes_bandwidth_and_latency(self):
+        env = Environment(two_host_platform(bandwidth=1e6, latency=0.5))
+        times = {}
+
+        def sender(proc):
+            yield proc.send(Task("data", data_size=2e6), "box")
+            times["sent"] = proc.now
+
+        def receiver(proc):
+            task = yield proc.receive("box")
+            times["received"] = proc.now
+            times["task_name"] = task.name
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert times["received"] == pytest.approx(2.5)
+        assert times["sent"] == pytest.approx(2.5)   # rendezvous semantics
+        assert times["task_name"] == "data"
+
+    def test_sender_blocks_until_receiver_arrives(self):
+        env = Environment(two_host_platform(bandwidth=1e6))
+        times = {}
+
+        def sender(proc):
+            yield proc.send(Task("data", data_size=1e6), "box")
+            times["sent"] = proc.now
+
+        def late_receiver(proc):
+            yield proc.sleep(5.0)
+            yield proc.receive("box")
+            times["received"] = proc.now
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", late_receiver)
+        env.run()
+        assert times["sent"] == pytest.approx(6.0)
+        assert times["received"] == pytest.approx(6.0)
+
+    def test_payload_travels_by_reference(self):
+        env = Environment(two_host_platform())
+        shared = {"observed": None}
+        payload = {"matrix": [1, 2, 3]}
+
+        def sender(proc):
+            yield proc.send(Task("d", data_size=1.0, payload=payload), "box")
+
+        def receiver(proc):
+            task = yield proc.receive("box")
+            shared["observed"] = task.payload
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert shared["observed"] is payload
+
+    def test_loopback_communication_is_instant(self):
+        env = Environment(two_host_platform())
+        times = {}
+
+        def sender(proc):
+            yield proc.send(Task("d", data_size=1e9), "box")
+
+        def receiver(proc):
+            yield proc.receive("box")
+            times["done"] = proc.now
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "alice", receiver)
+        env.run()
+        assert times["done"] == pytest.approx(0.0)
+
+    def test_port_based_put_get(self):
+        env = Environment(two_host_platform(bandwidth=1e6))
+        got = {}
+
+        def sender(proc):
+            yield proc.put(Task("d", data_size=1e6), "bob", port=7)
+
+        def receiver(proc):
+            got["task"] = yield proc.get(port=7)
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert got["task"].name == "d"
+
+    def test_two_flows_share_the_link(self):
+        env = Environment(two_host_platform(bandwidth=1e6))
+        times = {}
+
+        def sender(proc, box):
+            yield proc.send(Task("d", data_size=1e6), box)
+
+        def receiver(proc, box, key):
+            yield proc.receive(box)
+            times[key] = proc.now
+
+        env.create_process("s1", "alice", sender, "box1")
+        env.create_process("s2", "alice", sender, "box2")
+        env.create_process("r1", "bob", receiver, "box1", "r1")
+        env.create_process("r2", "bob", receiver, "box2", "r2")
+        env.run()
+        # each flow gets half the link: 2 s instead of 1 s
+        assert times["r1"] == pytest.approx(2.0)
+        assert times["r2"] == pytest.approx(2.0)
+
+    def test_fifo_matching_on_one_mailbox(self):
+        env = Environment(two_host_platform())
+        order = []
+
+        def sender(proc):
+            yield proc.send(Task("first", data_size=1.0), "box")
+            yield proc.send(Task("second", data_size=1.0), "box")
+
+        def receiver(proc):
+            a = yield proc.receive("box")
+            b = yield proc.receive("box")
+            order.extend([a.name, b.name])
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert order == ["first", "second"]
+
+    def test_rate_limited_put(self):
+        env = Environment(two_host_platform(bandwidth=1e7))
+        times = {}
+
+        def sender(proc):
+            yield proc.put(Task("d", data_size=1e6), "bob", port=1, rate=1e5)
+
+        def receiver(proc):
+            yield proc.get(port=1)
+            times["done"] = proc.now
+
+        env.create_process("s", "alice", sender)
+        env.create_process("r", "bob", receiver)
+        env.run()
+        assert times["done"] == pytest.approx(10.0)
+
+
+class TestPaperListing:
+    def test_paper_client_server_exchange(self):
+        """The quickstart example's timings on a deterministic platform."""
+        platform = Platform("paper")
+        platform.add_host("client-host", 1e8)
+        platform.add_host("server-host", 1e8)
+        platform.add_link("lan", 1.25e6, 1e-3)
+        platform.connect("client-host", "server-host", "lan")
+        env = Environment(platform)
+        times = {}
+
+        def client(proc):
+            remote = MSG_task_create("Remote", 30.0, 3.2)
+            yield proc.put(remote, "server-host", 22)
+            local = MSG_task_create("Local", 10.50, 3.2)
+            yield proc.execute(local)
+            ack = yield proc.get(23)
+            times["client_done"] = proc.now
+            times["ack_size"] = ack.data_size
+
+        def server(proc):
+            task = yield proc.get(22)
+            yield proc.execute(task)
+            ack = MSG_task_create("Ack", 0, 0.01)
+            yield proc.put(ack, "client-host", 23)
+            times["server_done"] = proc.now
+
+        env.create_process("client", "client-host", client)
+        env.create_process("server", "server-host", server)
+        env.run()
+        # transfer: 3.2 MB at 1.25 MB/s + 1 ms = 2.561 s
+        transfer = 3.2 * MBYTE / 1.25e6 + 1e-3
+        # server computes 30 MFlop at 100 MFlop/s = 0.3 s, ack is 10 KB
+        ack_time = 0.01 * MBYTE / 1.25e6 + 1e-3
+        assert times["server_done"] == pytest.approx(transfer + 0.3 + ack_time,
+                                                     rel=1e-6)
+        assert times["client_done"] == pytest.approx(times["server_done"])
+        assert times["ack_size"] == pytest.approx(0.01 * MBYTE)
+
+    def test_task_create_units(self):
+        task = MSG_task_create("t", 30.0, 3.2)
+        assert task.compute_amount == pytest.approx(30.0 * MFLOP)
+        assert task.data_size == pytest.approx(3.2 * MBYTE)
+
+
+class TestEnvironmentApi:
+    def test_host_lookup(self):
+        env = Environment(make_star(num_hosts=2))
+        assert env.host("leaf-0").name == "leaf-0"
+        assert env.host_by_name("center").speed == 1e9
+        from repro.exceptions import PlatformError
+        with pytest.raises(PlatformError):
+            env.host("nope")
+
+    def test_run_until_stops_at_bound(self):
+        env = Environment(two_host_platform(speed=1e6))
+
+        def worker(proc):
+            yield proc.execute(1e9)   # would take 1000 s
+
+        env.create_process("w", "alice", worker)
+        final = env.run(until=10.0)
+        assert final == pytest.approx(10.0)
+        assert env.process_count() == 1   # still alive, simply not finished
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task("bad", compute_amount=-1)
+        with pytest.raises(ValueError):
+            Task("bad", data_size=-1)
+        with pytest.raises(ValueError):
+            Task("bad", priority=0)

@@ -1,0 +1,273 @@
+"""Tests for MSG process management: create/suspend/resume/kill/join/daemons."""
+
+import pytest
+
+from repro import Environment, ProcessKilledError, Task
+from repro.msg.process import ProcessState
+from repro.platform import Platform
+
+
+def platform_one_host(speed=1e9):
+    platform = Platform("solo")
+    platform.add_host("host", speed)
+    return platform
+
+
+def platform_two_hosts(speed=1e9):
+    platform = Platform("duo")
+    platform.add_host("h1", speed)
+    platform.add_host("h2", speed)
+    platform.add_link("l", 1e6, 0.0)
+    platform.connect("h1", "h2", "l")
+    return platform
+
+
+class TestLifecycle:
+    def test_process_created_dynamically_by_another_process(self):
+        env = Environment(platform_one_host())
+        log = []
+
+        def child(proc, tag):
+            yield proc.execute(1e9)
+            log.append((tag, proc.now))
+
+        def parent(proc):
+            yield proc.sleep(1.0)
+            proc.env.create_process("child", "host", child, "spawned")
+            yield proc.sleep(0.1)
+
+        env.create_process("parent", "host", parent)
+        env.run()
+        assert log == [("spawned", pytest.approx(2.0))]
+
+    def test_process_finishes_and_is_dead(self):
+        env = Environment(platform_one_host())
+
+        def trivial(proc):
+            yield proc.sleep(1.0)
+
+        process = env.create_process("p", "host", trivial)
+        env.run()
+        assert process.state == ProcessState.DEAD
+        assert not process.is_alive
+
+    def test_join_waits_for_target_end(self):
+        env = Environment(platform_one_host())
+        times = {}
+
+        def worker(proc):
+            yield proc.execute(2e9)
+
+        def waiter(proc, target):
+            yield proc.join(target)
+            times["joined"] = proc.now
+
+        worker_proc = env.create_process("worker", "host", worker)
+        env.create_process("waiter", "host", waiter, worker_proc)
+        env.run()
+        assert times["joined"] == pytest.approx(2.0)
+
+    def test_join_on_dead_process_returns_immediately(self):
+        env = Environment(platform_one_host())
+        times = {}
+
+        def quick(proc):
+            yield proc.sleep(0.1)
+
+        def waiter(proc, target):
+            yield proc.sleep(5.0)
+            yield proc.join(target)
+            times["joined"] = proc.now
+
+        quick_proc = env.create_process("quick", "host", quick)
+        env.create_process("waiter", "host", waiter, quick_proc)
+        env.run()
+        assert times["joined"] == pytest.approx(5.0)
+
+    def test_daemons_die_with_the_last_regular_process(self):
+        env = Environment(platform_one_host())
+        log = []
+
+        def daemon(proc):
+            try:
+                while True:
+                    yield proc.sleep(1.0)
+                    log.append(proc.now)
+            except ProcessKilledError:
+                log.append("killed")
+                raise
+
+        def main(proc):
+            yield proc.sleep(3.5)
+
+        env.create_process("daemon", "host", daemon, daemon=True)
+        env.create_process("main", "host", main)
+        final = env.run()
+        assert final == pytest.approx(3.5)
+        assert log[-1] == "killed"
+        assert [t for t in log if t != "killed"] == [1.0, 2.0, 3.0]
+
+
+class TestKill:
+    def test_kill_other_process(self):
+        env = Environment(platform_one_host())
+        log = []
+
+        def victim(proc):
+            try:
+                yield proc.sleep(100.0)
+                log.append("survived")
+            finally:
+                log.append(("dead-at", proc.now))
+
+        def killer(proc, target):
+            yield proc.sleep(2.0)
+            yield proc.kill(target)
+            log.append(("killed-at", proc.now))
+
+        victim_proc = env.create_process("victim", "host", victim)
+        env.create_process("killer", "host", killer, victim_proc)
+        final = env.run()
+        assert ("dead-at", pytest.approx(2.0)) in log
+        assert ("killed-at", pytest.approx(2.0)) in log
+        assert "survived" not in log
+        assert final == pytest.approx(2.0)
+
+    def test_suicide(self):
+        env = Environment(platform_one_host())
+        log = []
+
+        def lemming(proc):
+            yield proc.sleep(1.0)
+            yield proc.kill()
+            log.append("unreachable")
+
+        env.create_process("lemming", "host", lemming)
+        env.run()
+        assert log == []
+
+    def test_kill_process_blocked_on_execution_frees_the_cpu(self):
+        env = Environment(platform_one_host(speed=1e9))
+        times = {}
+
+        def hog(proc):
+            yield proc.execute(1e12)
+
+        def other(proc):
+            yield proc.execute(1e9)
+            times["other"] = proc.now
+
+        def killer(proc, target):
+            yield proc.sleep(0.5)
+            yield proc.kill(target)
+
+        hog_proc = env.create_process("hog", "host", hog)
+        env.create_process("other", "host", other)
+        env.create_process("killer", "host", killer, hog_proc)
+        env.run()
+        # the other process had half the CPU for 0.5 s, then all of it
+        assert times["other"] == pytest.approx(1.25)
+
+    def test_environment_level_kill(self):
+        env = Environment(platform_one_host())
+
+        def forever(proc):
+            while True:
+                yield proc.sleep(10.0)
+
+        process = env.create_process("p", "host", forever)
+        env.kill_process(process)
+        env.run()
+        assert not process.is_alive
+
+
+class TestSuspendResume:
+    def test_suspend_other_pauses_its_execution(self):
+        env = Environment(platform_one_host(speed=1e9))
+        times = {}
+
+        def worker(proc):
+            yield proc.execute(1e9)
+            times["worker"] = proc.now
+
+        def controller(proc, target):
+            yield proc.sleep(0.5)
+            yield proc.suspend(target)
+            yield proc.sleep(2.0)
+            yield proc.resume_process(target)
+
+        worker_proc = env.create_process("worker", "host", worker)
+        env.create_process("ctrl", "host", controller, worker_proc)
+        env.run()
+        # 0.5 s of work done, 2 s suspended, 0.5 s to finish
+        assert times["worker"] == pytest.approx(3.0)
+
+    def test_self_suspend_until_resumed(self):
+        env = Environment(platform_one_host())
+        times = {}
+
+        def sleeper(proc):
+            yield proc.suspend()
+            times["resumed"] = proc.now
+
+        def waker(proc, target):
+            yield proc.sleep(4.0)
+            yield proc.resume_process(target)
+
+        sleeper_proc = env.create_process("sleeper", "host", sleeper)
+        env.create_process("waker", "host", waker, sleeper_proc)
+        env.run()
+        assert times["resumed"] == pytest.approx(4.0)
+        assert not sleeper_proc.is_suspended
+
+    def test_suspended_flag_visible(self):
+        env = Environment(platform_one_host())
+        observed = {}
+
+        def sleeper(proc):
+            yield proc.suspend()
+
+        def observer(proc, target):
+            yield proc.sleep(1.0)
+            observed["suspended"] = target.is_suspended
+            yield proc.resume_process(target)
+
+        sleeper_proc = env.create_process("sleeper", "host", sleeper)
+        env.create_process("observer", "host", observer, sleeper_proc)
+        env.run()
+        assert observed["suspended"] is True
+
+
+class TestSchedulingFairness:
+    def test_yield_lets_other_processes_run(self):
+        env = Environment(platform_one_host())
+        order = []
+
+        def chatty(proc, tag, rounds):
+            for _ in range(rounds):
+                order.append(tag)
+                yield proc.yield_()
+
+        env.create_process("a", "host", chatty, "a", 3)
+        env.create_process("b", "host", chatty, "b", 3)
+        env.run()
+        # processes alternate instead of running to completion one by one
+        assert order[:4] == ["a", "b", "a", "b"]
+
+    def test_thread_context_environment(self):
+        """The same scenario runs under the thread context factory."""
+        env = Environment(platform_two_hosts(), context_factory="thread")
+        times = {}
+
+        def sender(proc):
+            proc.send(Task("d", data_size=1e6), "box")
+
+        def receiver(proc):
+            task = proc.receive("box")
+            times["got"] = (task.name, proc.now)
+
+        env.create_process("s", "h1", sender)
+        env.create_process("r", "h2", receiver)
+        env.run()
+        assert times["got"][0] == "d"
+        assert times["got"][1] == pytest.approx(1.0)

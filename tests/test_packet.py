@@ -1,0 +1,206 @@
+"""Tests for the packet-level simulator (the NS2/GTNetS stand-in)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.packet import (
+    EventQueue,
+    DropTailQueue,
+    FlowSpec,
+    PacketSimulator,
+    TcpConfig,
+)
+from repro.packet.nic import PacketLink
+from repro.packet.tcp import Packet, TcpFlow
+from repro.platform import Platform, make_dumbbell
+
+
+def single_link_platform(bandwidth=1e6, latency=1e-3):
+    platform = Platform("single")
+    platform.add_host("src", 1e9)
+    platform.add_host("dst", 1e9)
+    platform.add_link("wire", bandwidth, latency)
+    platform.connect("src", "dst", "wire")
+    return platform
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("late"))
+        queue.schedule(1.0, lambda: order.append("early"))
+        queue.run()
+        assert order == ["early", "late"]
+        assert queue.now == 2.0
+
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        order = []
+        event = queue.schedule(1.0, lambda: order.append("x"))
+        event.cancel()
+        queue.run()
+        assert order == []
+
+    def test_run_until_bound(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append(1))
+        queue.schedule(5.0, lambda: order.append(5))
+        queue.run(until=2.0)
+        assert order == [1]
+
+    def test_schedule_in_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError):
+            queue.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0, lambda: None)
+
+
+class TestDropTailQueue:
+    def test_drops_when_full(self):
+        queue = DropTailQueue(capacity_packets=2)
+        flow = object()
+        packets = [Packet(flow, seq, 100.0) for seq in range(3)]
+        assert queue.push(packets[0])
+        assert queue.push(packets[1])
+        assert not queue.push(packets[2])
+        assert queue.dropped == 1
+        assert len(queue) == 2
+
+    def test_fifo_order(self):
+        queue = DropTailQueue()
+        flow = object()
+        first, second = Packet(flow, 0, 1.0), Packet(flow, 1, 1.0)
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+        assert queue.pop() is second
+        assert queue.pop() is None
+
+
+class TestPacketLink:
+    def test_serialisation_plus_propagation_delay(self):
+        events = EventQueue()
+        link = PacketLink("l", bandwidth=1e6, latency=0.5, events=events)
+        arrivals = []
+        packet = Packet(object(), 0, 1e5)
+        link.transmit(packet, lambda p: arrivals.append(events.now))
+        events.run()
+        # 1e5 / 1e6 = 0.1 s serialisation + 0.5 s propagation
+        assert arrivals == [pytest.approx(0.6)]
+
+    def test_back_to_back_packets_queue_behind_each_other(self):
+        events = EventQueue()
+        link = PacketLink("l", bandwidth=1e6, latency=0.0, events=events)
+        arrivals = []
+        for seq in range(3):
+            link.transmit(Packet(object(), seq, 1e6),
+                          lambda p: arrivals.append(events.now))
+        events.run()
+        assert arrivals == [pytest.approx(1.0), pytest.approx(2.0),
+                            pytest.approx(3.0)]
+
+
+class TestSingleFlow:
+    def test_throughput_approaches_link_bandwidth(self):
+        platform = single_link_platform(bandwidth=1.25e6, latency=1e-3)
+        sim = PacketSimulator(platform)
+        results = sim.run([FlowSpec("src", "dst", 5e6)])
+        assert len(results) == 1
+        # TCP overhead and slow start keep it below the raw capacity, but it
+        # must reach a healthy fraction of it.
+        assert results[0].throughput > 0.6 * 1.25e6
+        assert results[0].throughput <= 1.25e6 * 1.05
+
+    def test_flow_statistics_recorded(self):
+        platform = single_link_platform()
+        sim = PacketSimulator(platform)
+        results = sim.run([FlowSpec("src", "dst", 1e6)])
+        result = results[0]
+        assert result.size == 1e6
+        assert result.finish_time > result.start_time
+        stats = sim.link_statistics()
+        assert stats["wire:fwd"]["bytes"] >= 1e6
+        assert stats["wire:rev"]["packets"] > 0     # the ACK stream
+
+    def test_empty_run(self):
+        sim = PacketSimulator(single_link_platform())
+        assert sim.run([]) == []
+
+    def test_invalid_flow_size_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSpec("a", "b", 0.0)
+
+
+class TestSharing:
+    def test_two_flows_share_the_bottleneck_fairly(self):
+        platform = make_dumbbell(num_left=2, num_right=2)
+        sim = PacketSimulator(platform)
+        results = sim.run([FlowSpec("left-0", "right-0", 8e6),
+                           FlowSpec("left-1", "right-1", 8e6)])
+        rates = [r.throughput for r in results]
+        assert len(rates) == 2
+        # fairness: neither flow gets more than ~1.6x the other
+        assert max(rates) / min(rates) < 1.6
+        # both must share the 12.5 MB/s bottleneck: total under capacity
+        assert sum(rates) <= 12.5e6 * 1.05
+
+    def test_congestion_produces_losses_on_a_small_buffer(self):
+        platform = make_dumbbell(num_left=2, num_right=2,
+                                 bottleneck_bandwidth=2.5e6)
+        sim = PacketSimulator(platform, queue_capacity=10)
+        results = sim.run([FlowSpec("left-0", "right-0", 5e6),
+                           FlowSpec("left-1", "right-1", 5e6)])
+        total_retx = sum(r.retransmissions for r in results)
+        drops = sum(stats["drops"]
+                    for stats in sim.link_statistics().values())
+        assert drops > 0
+        assert total_retx > 0
+        # despite the losses, both transfers complete
+        assert len(results) == 2
+
+
+class TestTcpMachinery:
+    def test_slow_start_grows_cwnd(self):
+        events = EventQueue()
+        fwd = [PacketLink("f", 1e7, 1e-3, events)]
+        rev = [PacketLink("r", 1e7, 1e-3, events)]
+        flow = TcpFlow(0, events, fwd, rev, total_bytes=3e5)
+        flow.start()
+        events.run()
+        assert flow.completed
+        assert flow.cwnd > flow.config.initial_cwnd
+
+    def test_rtt_estimation_converges(self):
+        events = EventQueue()
+        fwd = [PacketLink("f", 1e7, 5e-3, events)]
+        rev = [PacketLink("r", 1e7, 5e-3, events)]
+        flow = TcpFlow(0, events, fwd, rev, total_bytes=3e5)
+        flow.start()
+        events.run()
+        assert flow.srtt is not None
+        assert flow.srtt >= 2 * 5e-3            # at least the propagation RTT
+        assert flow.srtt < 0.1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TcpConfig(segment_size=0)
+        with pytest.raises(ValueError):
+            TcpConfig(initial_cwnd=0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(min_value=2e5, max_value=5e6),
+       st.floats(min_value=1e5, max_value=1e7))
+def test_property_single_flow_never_exceeds_link_capacity(size, bandwidth):
+    """Conservation: average throughput can never exceed the link rate."""
+    platform = single_link_platform(bandwidth=bandwidth, latency=1e-3)
+    sim = PacketSimulator(platform)
+    results = sim.run([FlowSpec("src", "dst", size)])
+    assert results[0].throughput <= bandwidth * 1.001

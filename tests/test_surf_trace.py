@@ -1,0 +1,146 @@
+"""Tests for trace parsing, querying and iteration (repro.surf.trace)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.surf.trace import Trace, TraceKind
+
+
+class TestConstruction:
+    def test_simple_trace(self):
+        trace = Trace([(0.0, 1.0), (10.0, 0.5)])
+        assert len(trace) == 2
+        assert trace.period is None
+
+    def test_non_monotonic_times_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([(5.0, 1.0), (1.0, 0.5)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([(-1.0, 1.0)])
+
+    def test_period_must_exceed_last_event(self):
+        with pytest.raises(ValueError):
+            Trace([(0.0, 1.0), (10.0, 0.5)], period=10.0)
+
+    def test_periodic_trace_needs_events(self):
+        with pytest.raises(ValueError):
+            Trace([], period=5.0)
+
+    def test_constant_helper(self):
+        trace = Trace.constant(0.7)
+        assert trace.value_at(0.0) == 0.7
+        assert trace.value_at(1e9) == 0.7
+
+
+class TestParsing:
+    def test_parse_basic_format(self):
+        trace = Trace.parse("0.0 1.0\n5.5 0.25\n")
+        assert len(trace) == 2
+        assert trace.events[1].time == 5.5
+        assert trace.events[1].value == 0.25
+
+    def test_parse_periodicity_and_comments(self):
+        text = "# generated trace\nPERIODICITY 12\n0 1\n6 0.5\n"
+        trace = Trace.parse(text)
+        assert trace.period == 12.0
+        assert len(trace) == 2
+
+    def test_parse_loopafter_alias(self):
+        trace = Trace.parse("LOOPAFTER 4\n0 1\n")
+        assert trace.period == 4.0
+
+    def test_parse_bad_line_raises(self):
+        with pytest.raises(ValueError):
+            Trace.parse("0 1 extra\n")
+
+
+class TestValueAt:
+    def test_value_before_first_event_is_none(self):
+        trace = Trace([(5.0, 0.5)])
+        assert trace.value_at(1.0) is None
+
+    def test_value_at_event_and_after(self):
+        trace = Trace([(0.0, 1.0), (10.0, 0.5)])
+        assert trace.value_at(0.0) == 1.0
+        assert trace.value_at(9.99) == 1.0
+        assert trace.value_at(10.0) == 0.5
+        assert trace.value_at(100.0) == 0.5
+
+    def test_periodic_wraps(self):
+        trace = Trace([(0.0, 1.0), (5.0, 0.5)], period=10.0)
+        assert trace.value_at(3.0) == 1.0
+        assert trace.value_at(7.0) == 0.5
+        assert trace.value_at(13.0) == 1.0
+        assert trace.value_at(17.0) == 0.5
+
+    def test_negative_time_rejected(self):
+        trace = Trace([(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            trace.value_at(-1.0)
+
+
+class TestIterator:
+    def test_finite_iteration(self):
+        trace = Trace([(1.0, 0.5), (2.0, 1.0)])
+        events = list(trace.iter_from(0.0))
+        assert events == [(1.0, 0.5), (2.0, 1.0)]
+
+    def test_iteration_from_offset_skips_past_events(self):
+        trace = Trace([(1.0, 0.5), (2.0, 1.0), (3.0, 0.0)])
+        events = list(trace.iter_from(1.5))
+        assert events == [(2.0, 1.0), (3.0, 0.0)]
+
+    def test_periodic_iteration_is_infinite(self):
+        trace = Trace([(0.0, 1.0), (5.0, 0.5)], period=10.0)
+        iterator = trace.iter_from(0.0)
+        dates = [iterator.next_event()[0] for _ in range(6)]
+        assert dates == [0.0, 5.0, 10.0, 15.0, 20.0, 25.0]
+
+    def test_peek_does_not_consume(self):
+        trace = Trace([(1.0, 0.5)])
+        iterator = trace.iter_from(0.0)
+        assert iterator.peek() == (1.0, 0.5)
+        assert iterator.next_event() == (1.0, 0.5)
+        assert iterator.peek() is None
+        assert iterator.next_event() is None
+
+
+class TestTraceKind:
+    def test_kinds(self):
+        assert TraceKind.AVAILABILITY.value == "availability"
+        assert TraceKind.STATE.value == "state"
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e4),
+                          st.floats(min_value=0, max_value=1.0)),
+                min_size=1, max_size=20))
+def test_property_value_at_matches_last_event(pairs):
+    """value_at(t) always equals the value of the latest event <= t."""
+    pairs = sorted(pairs, key=lambda p: p[0])
+    trace = Trace(pairs)
+    for probe_time, _ in pairs:
+        expected = None
+        for time, value in pairs:
+            if time <= probe_time + 1e-12:
+                expected = value
+        assert trace.value_at(probe_time) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=9.0),
+                          st.floats(min_value=0, max_value=1.0)),
+                min_size=1, max_size=10),
+       st.integers(min_value=0, max_value=35))
+def test_property_periodic_iterator_dates_increase(pairs, probes):
+    """A periodic trace iterator yields strictly increasing dates forever."""
+    pairs = sorted(pairs, key=lambda p: p[0])
+    trace = Trace(pairs, period=10.0)
+    iterator = trace.iter_from(0.0)
+    previous = -1.0
+    for _ in range(probes + 1):
+        date, _ = iterator.next_event()
+        assert date >= previous
+        previous = date

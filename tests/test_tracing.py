@@ -1,0 +1,120 @@
+"""Tests for the tracing layer: recorder, Gantt chart, exports."""
+
+import pytest
+
+from repro import Environment, Recorder, GanttChart, Task
+from repro.platform import Platform
+from repro.tracing import intervals_to_csv, render_ascii_gantt
+from repro.tracing.recorder import Interval
+
+
+class TestRecorder:
+    def test_record_and_query(self):
+        recorder = Recorder()
+        recorder.record_interval("h1", "compute", 0.0, 2.0, "job")
+        recorder.record_interval("h1", "comm-send", 2.0, 3.0, "msg")
+        recorder.record_interval("h2", "compute", 1.0, 4.0, "job2")
+        assert recorder.rows() == ["h1", "h2"]
+        assert len(recorder.by_row("h1")) == 2
+        assert recorder.total_time("h1") == pytest.approx(3.0)
+        assert recorder.total_time("h1", "compute") == pytest.approx(2.0)
+        assert recorder.makespan() == pytest.approx(4.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(row="h", category="c", start=2.0, end=1.0)
+
+    def test_clear(self):
+        recorder = Recorder()
+        recorder.record_interval("h", "compute", 0, 1)
+        recorder.record_event("h", "mark", 0.5)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.makespan() == 0.0
+
+
+class TestGanttChart:
+    def _simulate(self):
+        platform = Platform("p")
+        platform.add_host("client", 1e8)
+        platform.add_host("server", 1e8)
+        platform.add_link("net", 1e6, 0.001)
+        platform.connect("client", "server", "net")
+        recorder = Recorder()
+        env = Environment(platform, recorder=recorder)
+
+        def client(proc):
+            yield proc.put(Task("request", 0, data_size=2e6), "server", 1)
+            yield proc.execute(2e8)
+            yield proc.get(2)
+
+        def server(proc):
+            task = yield proc.get(1)
+            yield proc.execute(3e8)
+            yield proc.put(Task("reply", 0, data_size=1e5), task.sender.host, 2)
+
+        env.create_process("client", "client", client)
+        env.create_process("server", "server", server)
+        env.run()
+        return recorder
+
+    def test_simulation_records_compute_and_comm_intervals(self):
+        recorder = self._simulate()
+        chart = GanttChart(recorder)
+        summary = chart.summary()
+        assert summary["client"]["compute"] == pytest.approx(2.0)
+        assert summary["server"]["compute"] == pytest.approx(3.0)
+        assert summary["client"]["comm"] > 0
+        assert summary["server"]["comm"] > 0
+        # busy + idle == horizon for each row
+        for totals in summary.values():
+            assert totals["idle"] >= 0
+
+    def test_row_lookup_and_missing_row(self):
+        recorder = self._simulate()
+        chart = GanttChart(recorder)
+        assert chart.row("client").name == "client"
+        with pytest.raises(KeyError):
+            chart.row("ghost")
+
+    def test_overlapping_comms_counted(self):
+        recorder = Recorder()
+        recorder.record_interval("a", "comm-send", 0.0, 2.0)
+        recorder.record_interval("b", "comm-send", 1.0, 3.0)
+        recorder.record_interval("c", "comm-send", 5.0, 6.0)
+        chart = GanttChart(recorder)
+        assert chart.overlapping_comms() == 1
+
+    def test_explicit_row_order(self):
+        recorder = self._simulate()
+        chart = GanttChart(recorder, rows=["server", "client"])
+        assert [row.name for row in chart.rows] == ["server", "client"]
+
+
+class TestExports:
+    def test_csv_export_contains_all_intervals(self):
+        recorder = Recorder()
+        recorder.record_interval("h1", "compute", 0.0, 1.5, "phase,one")
+        recorder.record_interval("h2", "comm-send", 0.5, 2.0, "msg")
+        csv_text = intervals_to_csv(recorder)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "row,category,start,end,label"
+        assert len(lines) == 3
+        assert "phase;one" in csv_text          # commas escaped
+
+    def test_ascii_gantt_renders_rows_and_marks(self):
+        recorder = Recorder()
+        recorder.record_interval("alpha", "compute", 0.0, 5.0)
+        recorder.record_interval("alpha", "comm-send", 5.0, 10.0)
+        recorder.record_interval("beta", "comm-recv", 0.0, 10.0)
+        chart = GanttChart(recorder)
+        art = render_ascii_gantt(chart, width=20)
+        lines = art.splitlines()
+        assert lines[0].startswith("alpha")
+        assert "#" in lines[0] and "-" in lines[0]
+        assert "-" in lines[1]
+        assert "#" not in lines[1]
+
+    def test_ascii_gantt_empty_recorder(self):
+        chart = GanttChart(Recorder())
+        assert render_ascii_gantt(chart) == ""
