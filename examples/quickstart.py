@@ -1,69 +1,77 @@
 #!/usr/bin/env python
-"""Quickstart: the paper's MSG client/server example, translated literally.
+"""Quickstart: the paper's MSG client/server example, in the s4u API.
 
 The paper's listing creates a client that sends a 30 MFlop / 3.2 MB task to
 a server on port 22, executes a 10.5 MFlop local task, and waits for a
 10 KB acknowledgement on port 23; the server executes whatever it receives
-and acknowledges.  This script runs that exact exchange on a small LAN and
-prints the timeline.
+and acknowledges.  This script runs that exact exchange on a small LAN
+through the modern actor/activity API (``repro.s4u``) and prints the
+timeline; the simulated dates are identical to the MSG version of this
+example (the MSG API is a compatibility shim over s4u).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Environment
-from repro.msg import (
-    MSG_get_host_by_name,
-    MSG_task_create,
-    MSG_task_execute,
-    MSG_task_get,
-    MSG_task_put,
-)
+from repro import s4u
+from repro.s4u import this_actor
 from repro.platform import make_star
+
+#: One MFlop in flop / one MB in bytes (the paper uses decimal units).
+MFLOP = 1e6
+MBYTE = 1e6
 
 PORT_22 = 22
 PORT_23 = 23
 
 
-def client(proc, server_host_name):
+def mailbox_for(engine, host_name, port):
+    """The paper's "port" rendezvous, as an s4u mailbox name."""
+    return engine.mailbox(f"{host_name}:{port}")
+
+
+def client(actor, server_host_name):
     """The paper's ``int client(int argc, char **argv)`` function."""
-    destination = MSG_get_host_by_name(proc, server_host_name)
+    engine = actor.engine
 
     # simulated data transfer: 30.0 MFlop of work, 3.2 MB of data
-    remote = MSG_task_create("Remote", 30.0, 3.2)
-    yield MSG_task_put(proc, remote, destination, PORT_22)
-    print(f"[{proc.now:8.4f}] {proc.name}: sent 'Remote' to "
-          f"{destination.name}")
+    request = {"name": "Remote", "flops": 30.0 * MFLOP}
+    yield mailbox_for(engine, server_host_name, PORT_22).put(
+        request, size=3.2 * MBYTE, name="Remote")
+    print(f"[{actor.now:8.4f}] {actor.name}: sent 'Remote' to "
+          f"{server_host_name}")
 
     # simulated task execution: 10.50 MFlop
-    local = MSG_task_create("Local", 10.50, 3.2)
-    yield MSG_task_execute(proc, local)
-    print(f"[{proc.now:8.4f}] {proc.name}: executed 'Local'")
+    yield this_actor.execute(10.50 * MFLOP, name="Local")
+    print(f"[{actor.now:8.4f}] {actor.name}: executed 'Local'")
 
     # simulated data reception
-    ack = yield MSG_task_get(proc, PORT_23)
-    print(f"[{proc.now:8.4f}] {proc.name}: received '{ack.name}'")
+    ack = yield mailbox_for(engine, this_actor.get_host().name, PORT_23).get()
+    print(f"[{actor.now:8.4f}] {actor.name}: received '{ack['name']}'")
 
 
-def server(proc, client_host_name, requests_to_serve=1):
+def server(actor, client_host_name, requests_to_serve=1):
     """The paper's ``int server(int argc, char **argv)`` function."""
+    engine = actor.engine
+    inbox = mailbox_for(engine, this_actor.get_host().name, PORT_22)
     for _ in range(requests_to_serve):
         # simulated data reception
-        task = yield MSG_task_get(proc, PORT_22)
-        print(f"[{proc.now:8.4f}] {proc.name}: received '{task.name}'")
+        request = yield inbox.get()
+        print(f"[{actor.now:8.4f}] {actor.name}: received "
+              f"'{request['name']}'")
 
         # simulated task execution
-        yield MSG_task_execute(proc, task)
-        print(f"[{proc.now:8.4f}] {proc.name}: executed '{task.name}'")
-
-        source = MSG_get_host_by_name(proc, client_host_name)
+        yield this_actor.execute(request["flops"], name=request["name"])
+        print(f"[{actor.now:8.4f}] {actor.name}: executed "
+              f"'{request['name']}'")
 
         # simulated data transfer: 0 MFlop, 10 KB
-        ack = MSG_task_create("Ack", 0, 0.01)
-        yield MSG_task_put(proc, ack, source, PORT_23)
-        print(f"[{proc.now:8.4f}] {proc.name}: acknowledged to "
-              f"{source.name}")
+        ack = {"name": "Ack", "flops": 0.0}
+        yield mailbox_for(engine, client_host_name, PORT_23).put(
+            ack, size=0.01 * MBYTE, name="Ack")
+        print(f"[{actor.now:8.4f}] {actor.name}: acknowledged to "
+              f"{client_host_name}")
 
 
 def main():
@@ -71,10 +79,10 @@ def main():
     platform = make_star(num_hosts=1, host_speed=1e8,
                          link_bandwidth=1.25e6, link_latency=1e-3,
                          center_name="server-host", prefix="client-host")
-    env = Environment(platform)
-    env.create_process("client", "client-host-0", client, "server-host")
-    env.create_process("server", "server-host", server, "client-host-0")
-    final_time = env.run()
+    engine = s4u.Engine(platform)
+    engine.add_actor("client", "client-host-0", client, "server-host")
+    engine.add_actor("server", "server-host", server, "client-host-0")
+    final_time = engine.run()
     print(f"\nSimulation ended at t={final_time:.4f} s")
     return final_time
 

@@ -1,11 +1,14 @@
 """repro — a pure-Python reproduction of the SimGrid HPDC'06 system.
 
-The package mirrors the paper's architecture::
+The package mirrors the paper's architecture, unified (as SimGrid itself
+later did) behind one actor/activity API::
 
     MSG               GRAS                SMPI
     (prototyping)     (dev + deployment)  (MPI app simulation)
             \\            |                /
-             +------- kernel (contexts, simcalls) ------+
+             +--------- s4u (actors, mailboxes, activity futures) ------+
+                              |
+                      kernel (contexts, simcalls, timers)
                               |
                             SURF  (fluid platform simulation, MaxMin fairness)
                               |
@@ -17,20 +20,39 @@ wire-format comparators for the GRAS tables), ``repro.amok`` (the Grid
 Application Toolbox: monitoring and topology discovery) and
 ``repro.tracing`` (Gantt charts).
 
-Quickstart
-----------
->>> from repro import Environment, Task, make_star
->>> platform = make_star(num_hosts=2)
->>> env = Environment(platform)
->>> def pinger(proc):
-...     yield proc.send(Task("ping", data_size=1e6), "rendezvous")
->>> def ponger(proc):
-...     task = yield proc.receive("rendezvous")
+Quickstart (s4u, the modern API)
+--------------------------------
+>>> from repro import s4u, make_star
+>>> engine = s4u.Engine(make_star(num_hosts=2))
+>>> def pinger(actor):
+...     yield actor.engine.mailbox("rendezvous").put("ping", size=1e6)
+>>> def ponger(actor):
+...     inbox = actor.engine.mailbox("rendezvous")
+...     comp = yield actor.exec_async(1e9)       # overlap compute...
+...     comm = yield inbox.get_async()           # ...with a receive
+...     pending = s4u.ActivitySet([comp, comm])
+...     while not pending.empty():
+...         done = yield pending.wait_any()      # reap in completion order
+>>> _ = engine.add_actor("pinger", "leaf-0", pinger)
+>>> _ = engine.add_actor("ponger", "leaf-1", ponger)
+>>> final_time = engine.run()
+
+The paper's MSG API (``Environment``/``Process``/``Task``) is a thin
+compatibility shim over s4u and remains fully supported:
+
+>>> from repro import Environment, Task
+>>> env = Environment(make_star(num_hosts=2))
+>>> def sender(proc):
+...     yield proc.send(Task("ping", data_size=1e6), "box")
+>>> def receiver(proc):
+...     task = yield proc.receive("box")
 ...     yield proc.execute(1e9)
->>> _ = env.create_process("pinger", "leaf-0", pinger)
->>> _ = env.create_process("ponger", "leaf-1", ponger)
+>>> _ = env.create_process("sender", "leaf-0", sender)
+>>> _ = env.create_process("receiver", "leaf-1", receiver)
 >>> final_time = env.run()
 """
+
+from repro import s4u
 
 from repro.exceptions import (
     CancelledError,
@@ -114,5 +136,6 @@ __all__ = [
     "make_star",
     "make_two_site_grid",
     "make_waxman_topology",
+    "s4u",
     "save_platform",
 ]

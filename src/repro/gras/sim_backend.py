@@ -87,6 +87,10 @@ class SimGrasProcess(GrasProcess):
         """Pop the next message (from the buffer or from the mailbox)."""
         if self._buffer:
             return self._buffer.pop(0)
+        return self._recv_from_mailbox(timeout)
+
+    def _recv_from_mailbox(self, timeout: float) -> GrasMessage:
+        """Block until a *new* message arrives on the listen mailbox."""
         port = self._ensure_listen_port()
         task = self._proc.receive(_mailbox_name(self.host_name, port),
                                   timeout=timeout if not math.isinf(timeout)
@@ -115,7 +119,11 @@ class SimGrasProcess(GrasProcess):
             if remaining < 0:
                 raise SimTimeoutError(
                     f"no {msgtype_name!r} message within {timeout}s")
-            message = self._next_message(remaining)
+            # The buffer was already scanned above and only this thread
+            # appends to it, so wait on the mailbox for *new* messages —
+            # popping the buffer here would spin forever on a non-matching
+            # buffered message.
+            message = self._recv_from_mailbox(remaining)
             if message.msgtype == msgtype_name:
                 return (GrasSocket(message.sender_host, message.sender_port),
                         self._decode(message))

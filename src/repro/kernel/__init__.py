@@ -5,9 +5,11 @@ to run simulated-process code (as cooperative generator coroutines or as
 real OS threads handed control one at a time) and how that code communicates
 its blocking requests ("simcalls") to the simulation engine.
 
-It is shared by the three user-facing APIs (MSG, GRAS-in-simulation, SMPI),
-which is exactly the layering of the paper's architecture diagram
-(MSG / GRAS / SMPI all sit on top of SURF through one kernel).
+It is shared by all the user-facing APIs: :mod:`repro.s4u` builds its
+actor/activity futures directly on these simcalls, and MSG,
+GRAS-in-simulation and SMPI ride on s4u — exactly the layering of the
+paper's architecture diagram (every API sits on top of SURF through one
+kernel).
 """
 
 from repro.kernel.context import (
@@ -20,6 +22,7 @@ from repro.kernel.context import (
     make_context_factory,
 )
 from repro.kernel.simcall import (
+    ExecAsyncCall,
     ExecuteCall,
     IrecvCall,
     IsendCall,
@@ -29,9 +32,12 @@ from repro.kernel.simcall import (
     ResumeCall,
     SendCall,
     Simcall,
+    SleepAsyncCall,
     SleepCall,
+    StartCall,
     SuspendCall,
     TestCall,
+    WaitAllCall,
     WaitAnyCall,
     WaitCall,
     YieldCall,
@@ -41,6 +47,7 @@ from repro.kernel.timer import Timer, TimerQueue
 __all__ = [
     "Context",
     "ContextFactory",
+    "ExecAsyncCall",
     "ExecuteCall",
     "GeneratorContext",
     "GeneratorContextFactory",
@@ -52,13 +59,16 @@ __all__ = [
     "ResumeCall",
     "SendCall",
     "Simcall",
+    "SleepAsyncCall",
     "SleepCall",
+    "StartCall",
     "SuspendCall",
     "TestCall",
     "ThreadContext",
     "ThreadContextFactory",
     "Timer",
     "TimerQueue",
+    "WaitAllCall",
     "WaitAnyCall",
     "WaitCall",
     "YieldCall",

@@ -18,8 +18,9 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
 __all__ = [
-    "Simcall", "ExecuteCall", "SleepCall", "SendCall", "RecvCall",
-    "IsendCall", "IrecvCall", "WaitCall", "WaitAnyCall", "TestCall",
+    "Simcall", "ExecuteCall", "ExecAsyncCall", "SleepCall", "SleepAsyncCall",
+    "SendCall", "RecvCall", "IsendCall", "IrecvCall", "StartCall",
+    "WaitCall", "WaitAnyCall", "WaitAllCall", "TestCall",
     "KillCall", "SuspendCall", "ResumeCall", "JoinCall", "YieldCall",
 ]
 
@@ -47,6 +48,21 @@ class ExecuteCall(Simcall):
 
 
 @dataclass
+class ExecAsyncCall(Simcall):
+    """Start an asynchronous execution: returns an ``Exec`` handle.
+
+    Same parameters as :class:`ExecuteCall`; the caller is resumed
+    immediately with the activity handle (S4U ``this_actor.exec_async``).
+    """
+
+    flops: float
+    host: Optional[Any] = None
+    priority: float = 1.0
+    bound: Optional[float] = None
+    name: str = "compute"
+
+
+@dataclass
 class SleepCall(Simcall):
     """Sleep for ``duration`` simulated seconds."""
 
@@ -54,25 +70,37 @@ class SleepCall(Simcall):
 
 
 @dataclass
+class SleepAsyncCall(Simcall):
+    """Start an asynchronous sleep: returns a ``Sleep`` activity handle."""
+
+    duration: float
+
+
+@dataclass
 class SendCall(Simcall):
-    """Synchronous (rendezvous) send of ``task`` to ``mailbox``.
+    """Synchronous (rendezvous) send of ``payload`` to ``mailbox``.
 
     Blocks the caller until the transfer has completed, like
-    ``MSG_task_put``.  ``rate`` optionally caps the transfer rate
-    (``MSG_task_put_bounded``); ``timeout`` bounds the wait.
+    ``MSG_task_put`` / S4U ``Mailbox.put``.  ``size`` is the simulated
+    payload size in bytes, ``rate`` optionally caps the transfer rate
+    (``MSG_task_put_bounded``), ``priority`` is the flow's sharing weight
+    and ``timeout`` bounds the wait.
     """
 
     mailbox: Any
-    task: Any
+    payload: Any
+    size: float = 0.0
     rate: Optional[float] = None
     timeout: Optional[float] = None
+    priority: float = 1.0
+    name: str = ""
 
 
 @dataclass
 class RecvCall(Simcall):
     """Synchronous receive from ``mailbox`` (``MSG_task_get``).
 
-    The yield result is the received task.
+    The yield result is the received payload.
     """
 
     mailbox: Any
@@ -89,9 +117,12 @@ class IsendCall(Simcall):
     """
 
     mailbox: Any
-    task: Any
+    payload: Any
+    size: float = 0.0
     rate: Optional[float] = None
     detached: bool = False
+    priority: float = 1.0
+    name: str = ""
 
 
 @dataclass
@@ -103,11 +134,23 @@ class IrecvCall(Simcall):
 
 
 @dataclass
+class StartCall(Simcall):
+    """Start a deferred (``*_init``) activity handle.
+
+    The yield result is the activity itself.  Starting an already-started
+    activity is a no-op.
+    """
+
+    activity: Any
+
+
+@dataclass
 class WaitCall(Simcall):
     """Wait for an activity handle (from Isend/Irecv or an async exec).
 
-    The yield result is the received task for receive communications,
-    ``None`` otherwise.
+    The yield result is the received payload for receive communications,
+    ``None`` otherwise.  Waiting on a not-yet-started (``*_init``) activity
+    starts it first.
     """
 
     activity: Any
@@ -118,11 +161,27 @@ class WaitCall(Simcall):
 class WaitAnyCall(Simcall):
     """Wait until any of several activity handles completes.
 
-    The yield result is the index of the completed activity in ``activities``.
+    The yield result is the index of the completed activity in
+    ``activities``; when ``owner`` (an ``ActivitySet``) is given, the
+    completed activity is removed from the owner and returned instead.
     """
 
     activities: Sequence[Any]
     timeout: Optional[float] = None
+    owner: Optional[Any] = None
+
+
+@dataclass
+class WaitAllCall(Simcall):
+    """Wait until every one of several activity handles completed.
+
+    The yield result is ``None``; when ``owner`` (an ``ActivitySet``) is
+    given, the completed activities are removed from the owner.
+    """
+
+    activities: Sequence[Any]
+    timeout: Optional[float] = None
+    owner: Optional[Any] = None
 
 
 @dataclass

@@ -4,9 +4,21 @@ MSG offers *"a convenient and standard abstraction of a distributed
 application"*: processes running on hosts, exchanging tasks that carry both
 a computation payload and a communication payload, all simulated on the SURF
 virtual platform.
+
+Since the s4u redesign this package is a thin compatibility shim: an MSG
+``Environment`` is an :class:`repro.s4u.engine.Engine`, a ``Process`` is an
+:class:`repro.s4u.actor.Actor`, and the MSG activities, hosts and mailboxes
+are the s4u objects themselves — both APIs run on one kernel code path.
 """
 
-from repro.msg.activity import Activity, ActivityState, CommActivity, ExecActivity
+from repro.msg.activity import (
+    Activity,
+    ActivitySet,
+    ActivityState,
+    CommActivity,
+    ExecActivity,
+    SleepActivity,
+)
 from repro.msg.api import (
     MBYTE,
     MFLOP,
@@ -27,10 +39,12 @@ from repro.msg.task import Task
 
 __all__ = [
     "Activity",
+    "ActivitySet",
     "ActivityState",
     "CommActivity",
     "Environment",
     "ExecActivity",
+    "SleepActivity",
     "Host",
     "MBYTE",
     "MFLOP",

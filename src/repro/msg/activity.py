@@ -1,160 +1,30 @@
-"""Activities: what a simulated process can block on.
+"""MSG activities — compatibility aliases over the S4U activity classes.
 
-An activity is the kernel-side object binding a simcall to the SURF action
-that realises it:
+The kernel-side activity machinery now lives in
+:mod:`repro.s4u.activity`; MSG's historical names map onto it directly:
 
-* :class:`ExecActivity` — a computation on one host;
-* :class:`CommActivity` — a task transfer through a mailbox;
-* :class:`SleepActivity` — a pure timer.
+* ``ExecActivity``  is :class:`repro.s4u.activity.Exec`;
+* ``CommActivity``  is :class:`repro.s4u.activity.Comm` (its ``task``
+  attribute is the S4U ``payload``);
+* ``SleepActivity`` is :class:`repro.s4u.activity.Sleep`.
 
-Activities carry their waiters (the processes blocked on them) and their
-timing information, which the tracing layer uses to build Gantt charts.
+Both APIs therefore share one activity implementation, one state machine
+and one engine code path.
 """
 
-from __future__ import annotations
+from repro.s4u.activity import (
+    Activity,
+    ActivitySet,
+    ActivityState,
+    Comm,
+    Exec,
+    Sleep,
+)
 
-import enum
-from typing import Any, List, Optional, TYPE_CHECKING
+__all__ = ["Activity", "ActivitySet", "ActivityState", "CommActivity",
+           "ExecActivity", "SleepActivity"]
 
-from repro.surf.action import Action
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.msg.host import Host
-    from repro.msg.mailbox import Mailbox
-    from repro.msg.process import Process
-    from repro.msg.task import Task
-
-__all__ = ["Activity", "ActivityState", "ExecActivity", "CommActivity",
-           "SleepActivity"]
-
-
-class ActivityState(enum.Enum):
-    """Lifecycle of an activity."""
-
-    PENDING = "pending"      # posted, not started (comm waiting for a peer)
-    STARTED = "started"      # the SURF action is running
-    DONE = "done"
-    FAILED = "failed"        # a resource died
-    CANCELLED = "cancelled"  # explicitly cancelled
-    TIMEOUT = "timeout"      # the waiter's timeout fired first
-
-
-class Activity:
-    """Base class of every blocking activity."""
-
-    kind = "activity"
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self.state = ActivityState.PENDING
-        self.surf_action: Optional[Action] = None
-        self.waiters: List["Process"] = []
-        self.post_time: float = 0.0
-        self.start_time: Optional[float] = None
-        self.finish_time: Optional[float] = None
-
-    # -- state helpers -----------------------------------------------------------------
-    def is_pending(self) -> bool:
-        return self.state is ActivityState.PENDING
-
-    def is_started(self) -> bool:
-        return self.state is ActivityState.STARTED
-
-    def is_over(self) -> bool:
-        """Finished, successfully or not."""
-        return self.state in (ActivityState.DONE, ActivityState.FAILED,
-                              ActivityState.CANCELLED, ActivityState.TIMEOUT)
-
-    def succeeded(self) -> bool:
-        return self.state is ActivityState.DONE
-
-    def add_waiter(self, process: "Process") -> None:
-        if process not in self.waiters:
-            self.waiters.append(process)
-
-    def remove_waiter(self, process: "Process") -> None:
-        try:
-            self.waiters.remove(process)
-        except ValueError:
-            pass
-
-    def cancel(self) -> None:
-        """Request cancellation; the environment finalises the bookkeeping."""
-        if self.is_over():
-            return
-        if self.surf_action is not None and self.surf_action.is_running():
-            self.surf_action.cancel(self.surf_action.start_time)
-        self.state = ActivityState.CANCELLED
-
-    @property
-    def remaining(self) -> float:
-        """Remaining work of the underlying action (0 when not started)."""
-        if self.surf_action is None:
-            return 0.0
-        return self.surf_action.remaining
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}(name={self.name!r}, state={self.state.value})"
-
-
-class ExecActivity(Activity):
-    """A computation of ``flops`` on ``host`` by ``process``."""
-
-    kind = "exec"
-
-    def __init__(self, process: "Process", host: "Host", flops: float,
-                 name: str = "compute") -> None:
-        super().__init__(name)
-        self.process = process
-        self.host = host
-        self.flops = flops
-
-
-class CommActivity(Activity):
-    """A task transfer through a mailbox.
-
-    The activity is created by whichever side posts first (PENDING); when
-    the other side arrives the environment *starts* it: the route between
-    the sender's and the receiver's hosts is resolved and the SURF network
-    action created.
-    """
-
-    kind = "comm"
-
-    def __init__(self, mailbox: "Mailbox", task: Optional["Task"] = None,
-                 src_process: Optional["Process"] = None,
-                 dst_process: Optional["Process"] = None,
-                 rate: Optional[float] = None,
-                 detached: bool = False,
-                 name: str = "") -> None:
-        super().__init__(name or (task.name if task is not None else "comm"))
-        self.mailbox = mailbox
-        self.task = task
-        self.src_process = src_process
-        self.dst_process = dst_process
-        self.rate = rate
-        self.detached = detached
-
-    @property
-    def size(self) -> float:
-        """Payload size in bytes."""
-        return self.task.data_size if self.task is not None else 0.0
-
-    @property
-    def src_host(self) -> Optional["Host"]:
-        return self.src_process.host if self.src_process is not None else None
-
-    @property
-    def dst_host(self) -> Optional["Host"]:
-        return self.dst_process.host if self.dst_process is not None else None
-
-
-class SleepActivity(Activity):
-    """A pure delay (``MSG_process_sleep``)."""
-
-    kind = "sleep"
-
-    def __init__(self, process: "Process", duration: float) -> None:
-        super().__init__("sleep")
-        self.process = process
-        self.duration = duration
+#: MSG-era names of the S4U activities.
+ExecActivity = Exec
+CommActivity = Comm
+SleepActivity = Sleep

@@ -1,58 +1,35 @@
-"""The MSG simulation environment: processes + platform + simulated time.
+"""The MSG simulation environment — a compatibility shim over s4u.
 
-This is the orchestrator tying everything together (SimGrid's *simix*):
+Historically this module owned the whole scheduler (SimGrid's *simix*);
+that machinery now lives in :class:`repro.s4u.engine.Engine`, and an MSG
+``Environment`` *is* an s4u ``Engine`` whose actors are MSG
+:class:`~repro.msg.process.Process` objects:
 
-* it owns the realized :class:`~repro.platform.platform.Platform` and its
-  :class:`~repro.surf.engine.SurfEngine`;
-* it schedules the simulated processes (created, suspended, resumed and
-  killed dynamically, as the paper requires);
-* it matches senders and receivers on mailboxes, creates the SURF actions
-  realising executions and transfers, and advances simulated time;
-* it converts resource failures into the exceptions the paper's API reports
-  (host failure, transfer failure, timeouts).
+* ``create_process``/``process_count``/``kill_process`` map onto the
+  engine's actor API;
+* MSG mailboxes, hosts and activities are the s4u objects themselves;
+* the port helper :meth:`mailbox_for` keeps the paper's
+  ``"<host>:<port>"`` naming convention.
 
 GRAS (in simulation mode) and SMPI both run their processes inside an
-Environment; MSG is simply its thinnest, most direct API.
+Environment; MSG is simply its thinnest, most direct API — and all three
+therefore execute on the one s4u engine.
 """
 
 from __future__ import annotations
 
-import math
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
+from typing import Callable, Union
 
-from repro.exceptions import (
-    CancelledError,
-    DeadlockError,
-    HostFailureError,
-    PlatformError,
-    SimTimeoutError,
-    TransferFailureError,
-)
-from repro.kernel.context import FINISHED, make_context_factory
-from repro.kernel.simcall import (
-    ExecuteCall, IrecvCall, IsendCall, JoinCall, KillCall, RecvCall,
-    ResumeCall, SendCall, Simcall, SleepCall, SuspendCall, TestCall,
-    WaitAnyCall, WaitCall, YieldCall,
-)
-from repro.kernel.timer import TimerQueue
-from repro.msg.activity import (
-    Activity, ActivityState, CommActivity, ExecActivity,
-)
 from repro.msg.host import Host
 from repro.msg.mailbox import Mailbox
-from repro.msg.process import Process, ProcessState
-from repro.msg.task import Task
-from repro.platform.platform import Platform
-from repro.surf.cpu import CpuResource
+from repro.msg.process import Process
+from repro.s4u.engine import Engine
 
 __all__ = ["Environment"]
 
-_EPS = 1e-12
 
-
-class Environment:
-    """A complete MSG simulation world.
+class Environment(Engine):
+    """A complete MSG simulation world (see :class:`repro.s4u.engine.Engine`).
 
     Parameters
     ----------
@@ -70,633 +47,36 @@ class Environment:
         ends (mirroring SimGrid's warning).
     """
 
-    def __init__(self, platform: Platform,
-                 context_factory: str = "generator",
-                 recorder=None,
-                 raise_on_deadlock: bool = False) -> None:
-        self.platform = platform
-        if not platform.realized:
-            platform.realize()
-        self.engine = platform.engine
-        self.context_factory = make_context_factory(context_factory)
-        self.recorder = recorder
-        self.raise_on_deadlock = raise_on_deadlock
-
-        self.hosts: Dict[str, Host] = {}
-        for name, spec in platform.hosts.items():
-            self.hosts[name] = Host(self, spec, platform.cpu_by_host[name])
-        self._host_by_cpu: Dict[int, Host] = {
-            id(host.cpu): host for host in self.hosts.values()}
-
-        self.mailboxes: Dict[str, Mailbox] = {}
-        self.processes: List[Process] = []
-        self.timers = TimerQueue()
-        self._ready: Deque[Tuple[Process, object, Optional[BaseException]]] = deque()
-        self._alive_nondaemon = 0
-        self._active_comms: set = set()
-        self._deadlocked = False
-
     # ------------------------------------------------------------------------------
-    # world accessors
+    # MSG-era naming of the actor API
     # ------------------------------------------------------------------------------
     @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self.engine.clock
+    def processes(self):
+        """The actor list, under its MSG name (same list object)."""
+        return self.actors
 
-    def host(self, name: str) -> Host:
-        """Lookup a host by name."""
-        try:
-            return self.hosts[name]
-        except KeyError:
-            raise PlatformError(f"unknown host {name!r}") from None
+    def create_process(self, name: str, host: Union[str, Host], func: Callable,
+                       *args, daemon: bool = False, **kwargs) -> Process:
+        """Create a simulated process and make it runnable immediately."""
+        return self.add_actor(name, host, func, *args, daemon=daemon,
+                              actor_cls=Process, **kwargs)
 
-    def host_by_name(self, name: str) -> Host:
-        """Alias of :meth:`host` (``MSG_get_host_by_name``)."""
-        return self.host(name)
+    def process_count(self) -> int:
+        """Number of processes still alive."""
+        return self.actor_count()
 
-    def mailbox(self, name: str) -> Mailbox:
-        """Get (or lazily create) a mailbox by name."""
-        box = self.mailboxes.get(name)
-        if box is None:
-            box = Mailbox(name)
-            self.mailboxes[name] = box
-        return box
+    def kill_process(self, process: Process) -> None:
+        """Kill a process from outside the simulation (tests, controllers)."""
+        self.kill_actor(process)
 
+    def resume_process(self, process: Process) -> None:
+        """Resume a suspended process (environment-level API)."""
+        self.resume_actor(process)
+
+    # ------------------------------------------------------------------------------
+    # the paper's port-based mailbox naming
+    # ------------------------------------------------------------------------------
     def mailbox_for(self, host: Union[str, Host], port: int) -> Mailbox:
         """The canonical mailbox of a host's port: ``"<host>:<port>"``."""
         host_name = host.name if isinstance(host, Host) else str(host)
         return self.mailbox(f"{host_name}:{port}")
-
-    # ------------------------------------------------------------------------------
-    # process management (environment-level API)
-    # ------------------------------------------------------------------------------
-    def create_process(self, name: str, host: Union[str, Host], func: Callable,
-                       *args, daemon: bool = False, **kwargs) -> Process:
-        """Create a simulated process and make it runnable immediately."""
-        host_obj = host if isinstance(host, Host) else self.host(host)
-        process = Process(self, name, host_obj, func, args, kwargs,
-                          daemon=daemon)
-        process.context = self.context_factory.create(
-            func, (process, *args), kwargs)
-        process.context.start()
-        process.state = ProcessState.RUNNABLE
-        self.processes.append(process)
-        host_obj.processes.append(process)
-        if not daemon:
-            self._alive_nondaemon += 1
-        self._enqueue(process, None)
-        return process
-
-    def process_count(self) -> int:
-        """Number of processes still alive."""
-        return sum(1 for p in self.processes if p.is_alive)
-
-    def kill_process(self, process: Process) -> None:
-        """Kill a process from outside the simulation (tests, controllers)."""
-        self._kill_process(process)
-
-    def fail_host(self, host: Host) -> None:
-        """Turn a host off: its activities fail, its processes are killed."""
-        failed = self.engine.fail_host(host.cpu)
-        for action in failed:
-            activity = action.data
-            if isinstance(activity, Activity):
-                self._finish_activity(activity, ActivityState.FAILED)
-        self._on_host_down(host)
-
-    def restore_host(self, host: Host) -> None:
-        """Turn a failed host back on."""
-        self.engine.restore_host(host.cpu)
-
-    # ------------------------------------------------------------------------------
-    # the main loop
-    # ------------------------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> float:
-        """Run the simulation until it ends (or until the given date).
-
-        Returns the final simulated time.
-        """
-        limit = math.inf if until is None else float(until)
-        while True:
-            self._schedule_ready()
-            if self._simulation_over():
-                break
-            bound = min(self.timers.next_date(), limit)
-            result = self.engine.step(until=bound)
-            if result is None:
-                # No action can complete, no trace event, no timer, no limit:
-                # the remaining processes (if any) are deadlocked.
-                self._handle_deadlock()
-                break
-            now = result.time
-            self._handle_state_changes(result.state_changes)
-            for action in result.failed:
-                activity = action.data
-                if isinstance(activity, Activity):
-                    self._finish_activity(activity, ActivityState.FAILED)
-            for action in result.completed:
-                activity = action.data
-                if isinstance(activity, Activity):
-                    self._finish_activity(activity, ActivityState.DONE)
-            self.timers.fire_until(now)
-            if until is not None and now >= limit - _EPS:
-                self._schedule_ready()
-                break
-        return self.now
-
-    @property
-    def deadlocked(self) -> bool:
-        """True when the last run ended because of a deadlock."""
-        return self._deadlocked
-
-    # -- loop helpers -------------------------------------------------------------------
-    def _enqueue(self, process: Process, value=None,
-                 exception: Optional[BaseException] = None) -> None:
-        self._ready.append((process, value, exception))
-
-    def _schedule_ready(self) -> None:
-        while self._ready:
-            process, value, exception = self._ready.popleft()
-            if process.state == ProcessState.DEAD:
-                continue
-            if process._suspended:
-                process._parked_resume = (value, exception)
-                continue
-            self._run_process(process, value, exception)
-
-    def _run_process(self, process: Process, value=None,
-                     exception: Optional[BaseException] = None) -> None:
-        process.state = ProcessState.RUNNABLE
-        request = process.context.resume(value, exception)
-        if request is FINISHED:
-            self._terminate_process(process)
-            return
-        self._handle_simcall(process, request)
-
-    def _simulation_over(self) -> bool:
-        if self._ready:
-            return False
-        if self._alive_nondaemon == 0:
-            self._kill_remaining_daemons()
-            return True
-        if (not self.engine.has_running_actions()
-                and not self.timers
-                and math.isinf(self.engine.next_trace_event_date())):
-            self._handle_deadlock()
-            return True
-        return False
-
-    def _kill_remaining_daemons(self) -> None:
-        for process in list(self.processes):
-            if process.is_alive and process.daemon:
-                self._kill_process(process)
-
-    def _handle_deadlock(self) -> None:
-        survivors = [p for p in self.processes if p.is_alive]
-        if not survivors:
-            return
-        self._deadlocked = True
-        for process in survivors:
-            self._kill_process(process)
-        if self.raise_on_deadlock:
-            names = ", ".join(p.name for p in survivors)
-            raise DeadlockError(
-                f"simulation deadlocked at t={self.now:g}: "
-                f"processes [{names}] are blocked forever")
-
-    def _handle_state_changes(self, state_changes) -> None:
-        for resource, is_on in state_changes:
-            if isinstance(resource, CpuResource) and not is_on:
-                host = self._host_by_cpu.get(id(resource))
-                if host is not None:
-                    self._on_host_down(host)
-
-    def _on_host_down(self, host: Host) -> None:
-        # Fail every started communication touching this host.
-        for comm in list(self._active_comms):
-            if comm.is_over():
-                continue
-            if (comm.src_host is host) or (comm.dst_host is host):
-                if comm.surf_action is not None and comm.surf_action.is_running():
-                    comm.surf_action.cancel(self.now)
-                self._finish_activity(comm, ActivityState.FAILED)
-        # Kill every process running on this host.
-        for process in list(host.processes):
-            if process.is_alive:
-                self._kill_process(process)
-
-    # ------------------------------------------------------------------------------
-    # simcall handling
-    # ------------------------------------------------------------------------------
-    def _handle_simcall(self, process: Process, call: Simcall) -> None:
-        process.state = ProcessState.BLOCKED
-        if isinstance(call, ExecuteCall):
-            self._do_execute(process, call)
-        elif isinstance(call, SleepCall):
-            self._do_sleep(process, call)
-        elif isinstance(call, SendCall):
-            self._do_send(process, call)
-        elif isinstance(call, RecvCall):
-            self._do_recv(process, call)
-        elif isinstance(call, IsendCall):
-            self._do_isend(process, call)
-        elif isinstance(call, IrecvCall):
-            self._do_irecv(process, call)
-        elif isinstance(call, WaitCall):
-            self._do_wait(process, call)
-        elif isinstance(call, WaitAnyCall):
-            self._do_wait_any(process, call)
-        elif isinstance(call, TestCall):
-            self._enqueue(process, call.activity.is_over())
-        elif isinstance(call, KillCall):
-            target = call.process
-            self._kill_process(target)
-            if target is not process:
-                self._enqueue(process, None)
-        elif isinstance(call, SuspendCall):
-            self._do_suspend(process, call)
-        elif isinstance(call, ResumeCall):
-            self._do_resume_other(process, call)
-        elif isinstance(call, JoinCall):
-            self._do_join(process, call)
-        elif isinstance(call, YieldCall):
-            self._enqueue(process, None)
-        else:
-            raise TypeError(f"unknown simcall {call!r}")
-
-    # -- execution ---------------------------------------------------------------------
-    def _do_execute(self, process: Process, call: ExecuteCall) -> None:
-        host: Host = call.host if isinstance(call.host, Host) else process.host
-        if not host.is_on:
-            self._enqueue(process, None,
-                          HostFailureError(f"host {host.name} is down"))
-            return
-        activity = ExecActivity(process, host, call.flops, call.name)
-        activity.post_time = self.now
-        activity.start_time = self.now
-        action = self.engine.cpu_model.execute(host.cpu, call.flops,
-                                               priority=call.priority,
-                                               bound=call.bound)
-        action.data = activity
-        activity.surf_action = action
-        activity.state = ActivityState.STARTED
-        activity.add_waiter(process)
-        self._block_on(process, "exec", [activity])
-
-    def _do_sleep(self, process: Process, call: SleepCall) -> None:
-        wake_date = self.now + call.duration
-
-        def _wake() -> None:
-            if process.state == ProcessState.DEAD:
-                return
-            self._clear_wait(process)
-            self._enqueue(process, None)
-
-        timer = self.timers.schedule(wake_date, _wake)
-        process._wait_kind = "sleep"
-        process._wait_activities = []
-        process._wait_timer = timer
-
-    # -- communications -------------------------------------------------------------------
-    def _do_send(self, process: Process, call: SendCall) -> None:
-        comm = self._post_send(process, call.mailbox, call.task, call.rate,
-                               detached=False)
-        comm.add_waiter(process)
-        self._block_on(process, "send", [comm], timeout=call.timeout)
-
-    def _do_recv(self, process: Process, call: RecvCall) -> None:
-        comm = self._post_recv(process, call.mailbox, call.rate)
-        comm.add_waiter(process)
-        self._block_on(process, "recv", [comm], timeout=call.timeout)
-
-    def _do_isend(self, process: Process, call: IsendCall) -> None:
-        comm = self._post_send(process, call.mailbox, call.task, call.rate,
-                               detached=call.detached)
-        self._enqueue(process, comm)
-
-    def _do_irecv(self, process: Process, call: IrecvCall) -> None:
-        comm = self._post_recv(process, call.mailbox, call.rate)
-        self._enqueue(process, comm)
-
-    def _post_send(self, process: Process, mailbox: Mailbox, task: Task,
-                   rate: Optional[float], detached: bool) -> CommActivity:
-        task.sender = process
-        task.source_host = process.host.name
-        peer = mailbox.pop_matching_recv()
-        if peer is not None:
-            comm = peer
-            comm.task = task
-            comm.src_process = process
-            if rate is not None:
-                comm.rate = rate if comm.rate is None else min(comm.rate, rate)
-            comm.detached = detached
-            self._start_comm(comm)
-        else:
-            comm = CommActivity(mailbox, task=task, src_process=process,
-                                rate=rate, detached=detached)
-            comm.post_time = self.now
-            mailbox.post_send(comm)
-        return comm
-
-    def _post_recv(self, process: Process, mailbox: Mailbox,
-                   rate: Optional[float]) -> CommActivity:
-        peer = mailbox.pop_matching_send()
-        if peer is not None:
-            comm = peer
-            comm.dst_process = process
-            if rate is not None:
-                comm.rate = rate if comm.rate is None else min(comm.rate, rate)
-            self._start_comm(comm)
-        else:
-            comm = CommActivity(mailbox, dst_process=process, rate=rate)
-            comm.post_time = self.now
-            mailbox.post_recv(comm)
-        return comm
-
-    def _start_comm(self, comm: CommActivity) -> None:
-        src_host = comm.src_process.host
-        dst_host = comm.dst_process.host
-        if not src_host.is_on or not dst_host.is_on:
-            self._finish_activity(comm, ActivityState.FAILED)
-            return
-        links = self.platform.route_resources(src_host.name, dst_host.name)
-        priority = comm.task.priority if comm.task is not None else 1.0
-        action = self.engine.network_model.communicate(
-            links, comm.size, rate=comm.rate, priority=priority)
-        action.data = comm
-        comm.surf_action = action
-        comm.state = ActivityState.STARTED
-        comm.start_time = self.now
-        if comm.task is not None:
-            comm.task.receiver = comm.dst_process
-            comm.task._activity = comm
-        self._active_comms.add(comm)
-
-    # -- waiting -----------------------------------------------------------------------
-    def _do_wait(self, process: Process, call: WaitCall) -> None:
-        activity: Activity = call.activity
-        if activity.is_over():
-            value, exc = self._activity_result(process, activity)
-            self._enqueue(process, value, exc)
-            return
-        activity.add_waiter(process)
-        self._block_on(process, "wait", [activity], timeout=call.timeout)
-
-    def _do_wait_any(self, process: Process, call: WaitAnyCall) -> None:
-        activities = list(call.activities)
-        if not activities:
-            raise ValueError("wait_any needs at least one activity")
-        for idx, activity in enumerate(activities):
-            if activity.is_over():
-                self._enqueue(process, idx)
-                return
-        for activity in activities:
-            activity.add_waiter(process)
-        self._block_on(process, "wait_any", activities, timeout=call.timeout)
-
-    def _block_on(self, process: Process, kind: str,
-                  activities: List[Activity],
-                  timeout: Optional[float] = None) -> None:
-        process._wait_kind = kind
-        process._wait_activities = list(activities)
-        process._wait_timer = None
-        if timeout is not None:
-            deadline = self.now + timeout
-            process._wait_timer = self.timers.schedule(
-                deadline, lambda: self._on_wait_timeout(process))
-
-    def _clear_wait(self, process: Process) -> None:
-        if process._wait_timer is not None:
-            process._wait_timer.cancel()
-        process._wait_timer = None
-        process._wait_kind = None
-        process._wait_activities = []
-
-    def _on_wait_timeout(self, process: Process) -> None:
-        if process.state == ProcessState.DEAD or process._wait_kind is None:
-            return
-        kind = process._wait_kind
-        activities = list(process._wait_activities)
-        for entry in activities:
-            if isinstance(entry, Process):  # join timeout
-                try:
-                    entry._joiners.remove(process)
-                except ValueError:
-                    pass
-                continue
-            activity = entry
-            activity.remove_waiter(process)
-            if isinstance(activity, CommActivity):
-                mine = (activity.src_process is process
-                        or activity.dst_process is process)
-                if activity.is_pending() and mine:
-                    activity.mailbox.discard(activity)
-                    activity.state = ActivityState.TIMEOUT
-                elif activity.is_started() and mine and kind in ("send", "recv"):
-                    # Abort the rendezvous: the peer sees a transfer failure.
-                    if (activity.surf_action is not None
-                            and activity.surf_action.is_running()):
-                        activity.surf_action.cancel(self.now)
-                    self._active_comms.discard(activity)
-                    activity.state = ActivityState.TIMEOUT
-                    activity.finish_time = self.now
-                    for peer in list(activity.waiters):
-                        activity.remove_waiter(peer)
-                        self._clear_wait(peer)
-                        self._enqueue(peer, None, TransferFailureError(
-                            f"peer timed out on {activity.mailbox.name}"))
-        self._clear_wait(process)
-        self._enqueue(process, None, SimTimeoutError(
-            f"{kind} timed out at t={self.now:g}"))
-
-    # -- process control ------------------------------------------------------------------
-    def _do_suspend(self, process: Process, call: SuspendCall) -> None:
-        target = call.process or process
-        if target is process:
-            target._suspended = True
-            target.state = ProcessState.SUSPENDED
-            # Not rescheduled: it stays parked until someone resumes it.
-            target._parked_resume = (None, None)
-            return
-        self._suspend_other(target)
-        self._enqueue(process, None)
-
-    def _suspend_other(self, target: Process) -> None:
-        if not target.is_alive or target._suspended:
-            return
-        target._suspended = True
-        if target.state != ProcessState.SUSPENDED:
-            target.state = ProcessState.SUSPENDED
-        for activity in target._wait_activities:
-            if isinstance(activity, ExecActivity) and activity.surf_action:
-                activity.surf_action.suspend()
-
-    def _do_resume_other(self, process: Process, call: ResumeCall) -> None:
-        self.resume_process(call.process)
-        self._enqueue(process, None)
-
-    def resume_process(self, target: Process) -> None:
-        """Resume a suspended process (environment-level API)."""
-        if not target.is_alive or not target._suspended:
-            return
-        target._suspended = False
-        for activity in target._wait_activities:
-            if isinstance(activity, ExecActivity) and activity.surf_action:
-                activity.surf_action.resume()
-        if target._parked_resume is not None:
-            value, exc = target._parked_resume
-            target._parked_resume = None
-            target.state = ProcessState.RUNNABLE
-            self._enqueue(target, value, exc)
-        else:
-            target.state = ProcessState.BLOCKED
-
-    def _do_join(self, process: Process, call: JoinCall) -> None:
-        target: Process = call.process
-        if not target.is_alive:
-            self._enqueue(process, None)
-            return
-        target._joiners.append(process)
-        process._wait_kind = "join"
-        process._wait_activities = [target]
-        process._wait_timer = None
-        if call.timeout is not None:
-            process._wait_timer = self.timers.schedule(
-                self.now + call.timeout,
-                lambda: self._on_wait_timeout(process))
-
-    # ------------------------------------------------------------------------------
-    # activity completion
-    # ------------------------------------------------------------------------------
-    def _finish_activity(self, activity: Activity, state: ActivityState) -> None:
-        if activity.is_over():
-            return
-        activity.state = state
-        activity.finish_time = self.now
-        if isinstance(activity, CommActivity):
-            self._active_comms.discard(activity)
-        self._record_activity(activity)
-        waiters = list(activity.waiters)
-        activity.waiters.clear()
-        for process in waiters:
-            self._wake_from_activity(process, activity)
-
-    def _record_activity(self, activity: Activity) -> None:
-        if self.recorder is None or activity.start_time is None:
-            return
-        start = activity.start_time
-        end = activity.finish_time if activity.finish_time is not None else start
-        if isinstance(activity, ExecActivity):
-            self.recorder.record_interval(
-                row=activity.host.name, category="compute",
-                start=start, end=end, label=activity.name)
-        elif isinstance(activity, CommActivity):
-            label = activity.name
-            if activity.src_host is not None:
-                self.recorder.record_interval(
-                    row=activity.src_host.name, category="comm-send",
-                    start=start, end=end, label=label)
-            if activity.dst_host is not None:
-                self.recorder.record_interval(
-                    row=activity.dst_host.name, category="comm-recv",
-                    start=start, end=end, label=label)
-
-    def _wake_from_activity(self, process: Process, activity: Activity) -> None:
-        if process.state == ProcessState.DEAD:
-            return
-        if process._wait_kind is None:
-            return
-        # Detach the process from every other activity it was waiting on.
-        for other in process._wait_activities:
-            if other is not activity and isinstance(other, Activity):
-                other.remove_waiter(process)
-        value, exc = self._activity_result(process, activity)
-        self._clear_wait(process)
-        self._enqueue(process, value, exc)
-
-    def _activity_result(self, process: Process, activity: Activity
-                         ) -> Tuple[object, Optional[BaseException]]:
-        kind = process._wait_kind
-        if activity.state is ActivityState.DONE:
-            if kind == "wait_any":
-                try:
-                    index = process._wait_activities.index(activity)
-                except ValueError:
-                    index = 0
-                return index, None
-            if isinstance(activity, CommActivity) and (
-                    activity.dst_process is process):
-                return activity.task, None
-            return None, None
-        if activity.state is ActivityState.FAILED:
-            if isinstance(activity, CommActivity):
-                return None, TransferFailureError(
-                    f"transfer {activity.name!r} failed at t={self.now:g}")
-            return None, HostFailureError(
-                f"host failed during {activity.name!r} at t={self.now:g}")
-        if activity.state is ActivityState.CANCELLED:
-            return None, CancelledError(
-                f"activity {activity.name!r} was cancelled")
-        if activity.state is ActivityState.TIMEOUT:
-            return None, SimTimeoutError(
-                f"activity {activity.name!r} timed out")
-        return None, None
-
-    # ------------------------------------------------------------------------------
-    # death
-    # ------------------------------------------------------------------------------
-    def _kill_process(self, target: Process) -> None:
-        if not target.is_alive:
-            return
-        self._detach_from_waits(target)
-        target.context.kill()
-        self._terminate_process(target)
-
-    def _detach_from_waits(self, target: Process) -> None:
-        if target._wait_timer is not None:
-            target._wait_timer.cancel()
-        for entry in list(target._wait_activities):
-            if isinstance(entry, Process):
-                try:
-                    entry._joiners.remove(target)
-                except ValueError:
-                    pass
-                continue
-            activity = entry
-            activity.remove_waiter(target)
-            if isinstance(activity, ExecActivity) and activity.process is target:
-                if not activity.is_over():
-                    activity.cancel()
-            elif isinstance(activity, CommActivity):
-                mine = (activity.src_process is target
-                        or activity.dst_process is target)
-                if not mine:
-                    continue
-                if activity.is_pending():
-                    activity.mailbox.discard(activity)
-                    activity.state = ActivityState.CANCELLED
-                elif activity.is_started() and not activity.detached:
-                    if (activity.surf_action is not None
-                            and activity.surf_action.is_running()):
-                        activity.surf_action.cancel(self.now)
-                    self._finish_activity(activity, ActivityState.FAILED)
-        target._wait_kind = None
-        target._wait_activities = []
-        target._wait_timer = None
-
-    def _terminate_process(self, process: Process) -> None:
-        if process.state == ProcessState.DEAD:
-            return
-        process.state = ProcessState.DEAD
-        try:
-            process.host.processes.remove(process)
-        except ValueError:
-            pass
-        if not process.daemon:
-            self._alive_nondaemon -= 1
-        for joiner in process._joiners:
-            if joiner.is_alive and joiner._wait_kind == "join":
-                self._clear_wait(joiner)
-                self._enqueue(joiner, None)
-        process._joiners = []

@@ -1,80 +1,11 @@
-"""MSG hosts: the machines simulated processes run on."""
+"""MSG hosts — the very same class as :class:`repro.s4u.host.Host`.
 
-from __future__ import annotations
+``m_host_t`` of the paper and the S4U ``Host`` are one object: it exposes
+the host speed and load, carries the per-host "data" dictionary
+applications can hang state on, and lists the processes (actors) currently
+running on it.
+"""
 
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
-
-from repro.platform.platform import HostSpec
-from repro.surf.cpu import CpuResource
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.msg.environment import Environment
-    from repro.msg.process import Process
+from repro.s4u.host import Host
 
 __all__ = ["Host"]
-
-
-class Host:
-    """Facade over a platform host and its realized CPU resource.
-
-    Mirrors ``m_host_t``: it exposes the host speed and load, carries the
-    per-host "data" dictionary applications can hang state on, and lists the
-    processes currently running on it.
-    """
-
-    def __init__(self, env: "Environment", spec: HostSpec,
-                 cpu: CpuResource) -> None:
-        self._env = env
-        self.spec = spec
-        self.cpu = cpu
-        self.name = spec.name
-        #: Application-visible storage (``MSG_host_set_data``).
-        self.data: Dict[str, Any] = {}
-        self.processes: List["Process"] = []
-
-    # -- static information ---------------------------------------------------------
-    @property
-    def speed(self) -> float:
-        """Peak speed of one core, in flop/s."""
-        return self.cpu.speed
-
-    @property
-    def cores(self) -> int:
-        return self.cpu.cores
-
-    @property
-    def is_on(self) -> bool:
-        """Whether the host is currently up."""
-        return self.cpu.is_on
-
-    @property
-    def available_speed(self) -> float:
-        """Current speed of one core, after the availability trace."""
-        return self.cpu.core_speed
-
-    # -- dynamic information ----------------------------------------------------------
-    @property
-    def load(self) -> int:
-        """Number of computations currently running on this host."""
-        return sum(1 for action in self._env.engine.cpu_model.running
-                   if action.cpu is self.cpu and action.is_running())
-
-    def process_count(self) -> int:
-        """Number of simulated processes currently hosted here."""
-        return len(self.processes)
-
-    # -- control ----------------------------------------------------------------------
-    def turn_off(self) -> None:
-        """Fail the host: running activities fail, its processes are killed."""
-        self._env.fail_host(self)
-
-    def turn_on(self) -> None:
-        """Bring a failed host back up (does not restart processes)."""
-        self._env.restore_host(self)
-
-    def compute_duration(self, flops: float) -> float:
-        """Time to compute ``flops`` alone on this host at full availability."""
-        return flops / self.speed if self.speed > 0 else float("inf")
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Host(name={self.name!r}, speed={self.speed:g})"

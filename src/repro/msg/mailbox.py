@@ -1,80 +1,13 @@
-"""Mailboxes (the paper's "ports"): rendezvous points for task exchange.
+"""MSG mailboxes (the paper's "ports") — now the S4U mailbox.
 
 ``MSG_task_put(task, host, PORT_22)`` / ``MSG_task_get(&task, PORT_22)``
-pair up through a mailbox.  In this reproduction a mailbox is named; the
-MSG helpers derive the canonical name ``"<host>:<port>"`` so the paper's
-port-based examples translate directly, but any string can be used as a
-mailbox name (which is what GRAS and SMPI do internally).
+pair up through a mailbox.  The MSG helpers derive the canonical name
+``"<host>:<port>"`` so the paper's port-based examples translate directly,
+but any string can be used as a mailbox name (which is what GRAS and SMPI
+do internally).  The implementation — queue mechanics and the async
+``put/get`` API — lives in :mod:`repro.s4u.mailbox`.
 """
 
-from __future__ import annotations
-
-from collections import deque
-from typing import Deque, Optional, TYPE_CHECKING
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.msg.activity import CommActivity
+from repro.s4u.mailbox import Mailbox
 
 __all__ = ["Mailbox"]
-
-
-class Mailbox:
-    """A named rendezvous point between senders and receivers."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        #: Communications posted by senders, waiting for a receiver.
-        self.pending_sends: Deque["CommActivity"] = deque()
-        #: Communications posted by receivers, waiting for a sender.
-        self.pending_recvs: Deque["CommActivity"] = deque()
-
-    # -- matching ----------------------------------------------------------------------
-    def pop_matching_send(self) -> Optional["CommActivity"]:
-        """Oldest sender-side communication still waiting, if any."""
-        while self.pending_sends:
-            comm = self.pending_sends[0]
-            if comm.is_pending():
-                return self.pending_sends.popleft()
-            self.pending_sends.popleft()
-        return None
-
-    def pop_matching_recv(self) -> Optional["CommActivity"]:
-        """Oldest receiver-side communication still waiting, if any."""
-        while self.pending_recvs:
-            comm = self.pending_recvs[0]
-            if comm.is_pending():
-                return self.pending_recvs.popleft()
-            self.pending_recvs.popleft()
-        return None
-
-    def post_send(self, comm: "CommActivity") -> None:
-        """Queue a sender-side communication until a receiver shows up."""
-        self.pending_sends.append(comm)
-
-    def post_recv(self, comm: "CommActivity") -> None:
-        """Queue a receiver-side communication until a sender shows up."""
-        self.pending_recvs.append(comm)
-
-    def discard(self, comm: "CommActivity") -> None:
-        """Remove a communication from the queues (timeout, kill, cancel)."""
-        try:
-            self.pending_sends.remove(comm)
-        except ValueError:
-            pass
-        try:
-            self.pending_recvs.remove(comm)
-        except ValueError:
-            pass
-
-    @property
-    def empty(self) -> bool:
-        """True when no communication is waiting on this mailbox."""
-        return not self.pending_sends and not self.pending_recvs
-
-    def waiting_send_count(self) -> int:
-        """Number of sender-side communications currently queued (probe)."""
-        return sum(1 for c in self.pending_sends if c.is_pending())
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"Mailbox(name={self.name!r}, sends={len(self.pending_sends)},"
-                f" recvs={len(self.pending_recvs)})")

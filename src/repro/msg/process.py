@@ -1,13 +1,16 @@
-"""MSG processes.
+"""MSG processes — thin adapters over S4U actors.
 
 The paper: *"Applications consist of processes; processes can be created,
 suspended, resumed and terminated dynamically; processes can synchronize by
 exchanging tasks."*
 
-A :class:`Process` wraps the user-supplied process function and offers the
-blocking operations.  With the default generator context factory, process
-functions are generator functions and every blocking operation is
-``yield``-ed::
+A :class:`Process` **is** an :class:`repro.s4u.actor.Actor`: it adds the
+task-centric helpers of the paper's MSG API (``put``/``get``/``send``/
+``receive``/``execute`` taking :class:`~repro.msg.task.Task` objects) on
+top of the S4U blocking operations, translating every call into the same
+kernel simcalls the S4U mailbox/activity methods build.  With the default
+generator context factory, process functions are generator functions and
+every blocking operation is ``yield``-ed::
 
     def client(proc, server_name):
         remote = Task("Remote", compute_amount=30e6, data_size=3.2e6)
@@ -22,15 +25,13 @@ calls (no ``yield``), since each simulated process owns an OS thread.
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING, Union
+from typing import Any, Optional, Sequence, TYPE_CHECKING, Union
 
-from repro.kernel.context import Context, ThreadContext
 from repro.kernel.simcall import (
-    ExecuteCall, IrecvCall, IsendCall, JoinCall, KillCall, RecvCall,
-    ResumeCall, SendCall, Simcall, SleepCall, SuspendCall, TestCall,
-    WaitAnyCall, WaitCall, YieldCall,
+    IrecvCall, IsendCall, JoinCall, KillCall, RecvCall, ResumeCall,
+    SendCall, SuspendCall, TestCall, WaitAnyCall, WaitCall,
 )
+from repro.s4u.actor import Actor, ActorState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.msg.environment import Environment
@@ -39,74 +40,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["Process", "ProcessState"]
 
-_pids = itertools.count(1)
+#: MSG-era name of the actor state enumeration.
+ProcessState = ActorState
 
 
-class ProcessState:
-    """Symbolic process states (strings for easy debugging)."""
-
-    CREATED = "created"
-    RUNNABLE = "runnable"
-    BLOCKED = "blocked"
-    SUSPENDED = "suspended"
-    DEAD = "dead"
-
-
-class Process:
-    """One simulated process: a function running on a host."""
-
-    def __init__(self, env: "Environment", name: str, host: "Host",
-                 func, args: tuple = (), kwargs: Optional[dict] = None,
-                 daemon: bool = False) -> None:
-        self.env = env
-        self.name = name
-        self.host = host
-        self.func = func
-        self.args = args
-        self.kwargs = kwargs or {}
-        self.daemon = daemon
-        self.pid = next(_pids)
-        self.state = ProcessState.CREATED
-        self.context: Optional[Context] = None
-        #: Application-visible storage (``MSG_process_set_data``).
-        self.data: Dict[str, Any] = {}
-        # kernel bookkeeping
-        self._wait_activities: List[Any] = []
-        self._wait_timer = None
-        self._wait_kind: Optional[str] = None
-        self._suspended = False
-        self._parked_resume: Optional[tuple] = None
-        self._joiners: List["Process"] = []
-        self.exit_status: Optional[BaseException] = None
-
-    # ------------------------------------------------------------------------------
-    # identity & state
-    # ------------------------------------------------------------------------------
-    @property
-    def is_alive(self) -> bool:
-        return self.state != ProcessState.DEAD
+class Process(Actor):
+    """One simulated process: an S4U actor with the MSG task helpers."""
 
     @property
-    def is_suspended(self) -> bool:
-        return self._suspended
-
-    @property
-    def now(self) -> float:
-        """Current simulated time."""
-        return self.env.now
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"Process(pid={self.pid}, name={self.name!r}, "
-                f"host={self.host.name!r}, state={self.state})")
-
-    # ------------------------------------------------------------------------------
-    # simcall submission
-    # ------------------------------------------------------------------------------
-    def _submit(self, simcall: Simcall):
-        """Return the simcall (generator mode) or block on it (thread mode)."""
-        if isinstance(self.context, ThreadContext):
-            return self.context.block(simcall)
-        return simcall
+    def env(self) -> "Environment":
+        """The owning environment (MSG-era name of ``Actor.engine``)."""
+        return self.engine
 
     # -- computation -------------------------------------------------------------------
     def execute(self, work: Union[float, "Task"], priority: Optional[float] = None,
@@ -125,15 +69,12 @@ class Process:
             flops = float(work)
             label = name or "compute"
             prio = priority if priority is not None else 1.0
-        return self._submit(ExecuteCall(flops=flops, host=host or self.host,
-                                        priority=prio, bound=bound,
-                                        name=label))
+        return Actor.execute(self, flops, priority=prio, bound=bound,
+                             host=host or self.host, name=label)
 
     def sleep(self, duration: float):
         """Do nothing for ``duration`` simulated seconds."""
-        if duration < 0:
-            raise ValueError("sleep duration must be >= 0")
-        return self._submit(SleepCall(duration=duration))
+        return self.sleep_for(duration)
 
     # -- point-to-point communication -----------------------------------------------------
     def put(self, task: "Task", dest: Union[str, "Host"], port: int = 0,
@@ -144,8 +85,7 @@ class Process:
         has fully received the task (rendezvous semantics).
         """
         mailbox = self.env.mailbox_for(dest, port)
-        return self._submit(SendCall(mailbox=mailbox, task=task, rate=rate,
-                                     timeout=timeout))
+        return self._submit(self._send_call(mailbox, task, rate, timeout))
 
     def get(self, port: int = 0, host: Optional[Union[str, "Host"]] = None,
             timeout: Optional[float] = None, rate: Optional[float] = None):
@@ -157,8 +97,8 @@ class Process:
     def send(self, task: "Task", mailbox: str, rate: Optional[float] = None,
              timeout: Optional[float] = None):
         """Send ``task`` to a named mailbox (``MSG_task_send``)."""
-        return self._submit(SendCall(mailbox=self.env.mailbox(mailbox),
-                                     task=task, rate=rate, timeout=timeout))
+        return self._submit(self._send_call(self.env.mailbox(mailbox),
+                                            task, rate, timeout))
 
     def receive(self, mailbox: str, timeout: Optional[float] = None,
                 rate: Optional[float] = None):
@@ -166,17 +106,26 @@ class Process:
         return self._submit(RecvCall(mailbox=self.env.mailbox(mailbox),
                                      timeout=timeout, rate=rate))
 
+    def _send_call(self, mailbox, task: "Task", rate: Optional[float],
+                   timeout: Optional[float]) -> SendCall:
+        """Translate a task send into the payload/size/priority simcall."""
+        return SendCall(mailbox=mailbox, payload=task, size=task.data_size,
+                        rate=rate, timeout=timeout, priority=task.priority,
+                        name=task.name)
+
     # -- asynchronous communication ---------------------------------------------------------
     def isend(self, task: "Task", mailbox: str, rate: Optional[float] = None,
               detached: bool = False):
         """Start an asynchronous send; returns a communication handle."""
         return self._submit(IsendCall(mailbox=self.env.mailbox(mailbox),
-                                      task=task, rate=rate, detached=detached))
+                                      payload=task, size=task.data_size,
+                                      rate=rate, detached=detached,
+                                      priority=task.priority,
+                                      name=task.name))
 
     def dsend(self, task: "Task", mailbox: str, rate: Optional[float] = None):
         """Fire-and-forget send (``MSG_task_dsend``)."""
-        return self._submit(IsendCall(mailbox=self.env.mailbox(mailbox),
-                                      task=task, rate=rate, detached=True))
+        return self.isend(task, mailbox, rate=rate, detached=True)
 
     def irecv(self, mailbox: str, rate: Optional[float] = None):
         """Start an asynchronous receive; returns a communication handle."""
@@ -199,7 +148,7 @@ class Process:
 
     # -- process management --------------------------------------------------------------------
     def kill(self, process: Optional["Process"] = None):
-        """Kill ``process`` (default: self)."""
+        """Kill ``process`` (default: self) — MSG calling convention."""
         return self._submit(KillCall(process=process or self))
 
     def suspend(self, process: Optional["Process"] = None):
@@ -213,7 +162,3 @@ class Process:
     def join(self, process: "Process", timeout: Optional[float] = None):
         """Wait for ``process`` to terminate."""
         return self._submit(JoinCall(process=process, timeout=timeout))
-
-    def yield_(self):
-        """Let other runnable processes run (no simulated time passes)."""
-        return self._submit(YieldCall())

@@ -73,6 +73,19 @@ class Task:
         if self._activity is not None:
             self._activity.cancel()
 
+    # -- kernel payload hooks ------------------------------------------------------------
+    # The s4u engine transports opaque payloads; these optional hooks let a
+    # task learn who carries it without the kernel depending on Task.
+    def _on_comm_post(self, sender) -> None:
+        """Called when the sending actor posts the communication."""
+        self.sender = sender
+        self.source_host = sender.host.name
+
+    def _on_comm_start(self, comm) -> None:
+        """Called when both sides met and the transfer starts."""
+        self.receiver = comm.dst_actor
+        self._activity = comm
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Task(name={self.name!r}, flops={self.compute_amount}, "
                 f"bytes={self.data_size})")

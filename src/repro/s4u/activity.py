@@ -1,0 +1,339 @@
+"""S4U activities: first-class futures for everything that takes time.
+
+An :class:`Activity` binds a kernel request to the SURF action (or timer)
+that realises it and exposes the asynchronous lifecycle of SimGrid's S4U
+API: create (``*_init``), :meth:`start`, :meth:`test`, :meth:`wait`,
+:meth:`cancel`.  Three concrete activities exist:
+
+* :class:`Exec` — a computation on one host;
+* :class:`Comm` — a payload transfer through a :class:`~repro.s4u.mailbox.Mailbox`;
+* :class:`Sleep` — a pure simulated-time delay.
+
+:class:`ActivitySet` groups heterogeneous activities so an actor can reap
+them as they complete (``wait_any``) or in bulk (``wait_all``), built on
+the kernel's :class:`~repro.kernel.simcall.WaitAnyCall` /
+:class:`~repro.kernel.simcall.WaitAllCall`.
+
+Every blocking method returns the simcall to ``yield`` under the generator
+context factory and blocks directly under the thread context factory,
+exactly like the MSG helpers (which are now thin adapters over these
+classes).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.kernel.simcall import (
+    StartCall, TestCall, WaitAllCall, WaitAnyCall, WaitCall,
+)
+from repro.surf.action import Action
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.s4u.actor import Actor
+    from repro.s4u.host import Host
+    from repro.s4u.mailbox import Mailbox
+
+__all__ = ["Activity", "ActivityState", "ActivitySet", "Comm", "Exec",
+           "Sleep"]
+
+
+class ActivityState(enum.Enum):
+    """Lifecycle of an activity."""
+
+    INITED = "inited"        # created (``*_init``), not yet started
+    PENDING = "pending"      # posted, not started (comm waiting for a peer)
+    STARTED = "started"      # the SURF action (or timer) is running
+    DONE = "done"
+    FAILED = "failed"        # a resource died
+    CANCELLED = "cancelled"  # explicitly cancelled
+    TIMEOUT = "timeout"      # the waiter's timeout fired first
+
+
+def _submit(simcall):
+    """Route a simcall through the calling actor's context."""
+    from repro.s4u.actor import current_actor
+    return current_actor()._submit(simcall)
+
+
+class Activity:
+    """Base class of every asynchronous operation a simulation performs."""
+
+    kind = "activity"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.state = ActivityState.PENDING
+        self.surf_action: Optional[Action] = None
+        self.waiters: List["Actor"] = []
+        self.post_time: float = 0.0
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        #: Engine backref, set when the engine posts/starts the activity.
+        self._engine = None
+        #: When a pre-built comm is matched against an already-pending peer,
+        #: the peer becomes the canonical object and this handle forwards to
+        #: it (see Engine._post_send).
+        self._master: Optional["Activity"] = None
+
+    # -- state helpers -----------------------------------------------------------------
+    def _resolved(self) -> "Activity":
+        """Follow the master chain to the canonical activity object."""
+        activity = self
+        while activity._master is not None:
+            activity = activity._master
+        return activity
+
+    def is_inited(self) -> bool:
+        return self._resolved().state is ActivityState.INITED
+
+    def is_pending(self) -> bool:
+        return self._resolved().state is ActivityState.PENDING
+
+    def is_started(self) -> bool:
+        return self._resolved().state is ActivityState.STARTED
+
+    def is_over(self) -> bool:
+        """Finished, successfully or not."""
+        return self._resolved().state in (
+            ActivityState.DONE, ActivityState.FAILED,
+            ActivityState.CANCELLED, ActivityState.TIMEOUT)
+
+    def succeeded(self) -> bool:
+        return self._resolved().state is ActivityState.DONE
+
+    def add_waiter(self, actor: "Actor") -> None:
+        if actor not in self.waiters:
+            self.waiters.append(actor)
+
+    def remove_waiter(self, actor: "Actor") -> None:
+        try:
+            self.waiters.remove(actor)
+        except ValueError:
+            pass
+
+    # -- user-facing async API ---------------------------------------------------------
+    def start(self):
+        """Start an ``*_init`` activity; returns the activity itself.
+
+        ``yield activity.start()`` under generator contexts.  Starting an
+        already-started activity is a harmless no-op.
+        """
+        return _submit(StartCall(activity=self))
+
+    def test(self):
+        """Non-blocking completion probe; the result is a bool."""
+        return _submit(TestCall(activity=self))
+
+    def wait(self, timeout: Optional[float] = None):
+        """Block until completion; raises ``SimTimeoutError`` on timeout.
+
+        The result is the received payload for receive-side comms, ``None``
+        for every other activity.  A timeout only abandons the *wait*, not
+        the activity (S4U semantics): a pending comm stays posted on its
+        mailbox and can be waited on again — :meth:`cancel` it explicitly
+        to withdraw it.
+        """
+        return _submit(WaitCall(activity=self, timeout=timeout))
+
+    def cancel(self) -> None:
+        """Cancel the activity and wake its waiters with ``CancelledError``."""
+        target = self._resolved()
+        if target.is_over():
+            return
+        if target._engine is not None:
+            target._engine.cancel_activity(target)
+            return
+        # Not yet posted to an engine: flip the state locally.
+        if target.surf_action is not None and target.surf_action.is_running():
+            target.surf_action.cancel(target.surf_action.start_time)
+        target.state = ActivityState.CANCELLED
+
+    @property
+    def remaining(self) -> float:
+        """Remaining work of the underlying action (0 when not started)."""
+        action = self._resolved().surf_action
+        if action is None:
+            return 0.0
+        return action.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, state={self.state.value})"
+
+
+class Exec(Activity):
+    """A computation of ``flops`` on ``host`` by ``actor``."""
+
+    kind = "exec"
+
+    def __init__(self, actor: "Actor", host: "Host", flops: float,
+                 name: str = "compute", priority: float = 1.0,
+                 bound: Optional[float] = None) -> None:
+        super().__init__(name)
+        self.actor = actor
+        self.host = host
+        self.flops = flops
+        self.priority = priority
+        self.bound = bound
+
+    @property
+    def process(self) -> "Actor":
+        """MSG-era alias of :attr:`actor`."""
+        return self.actor
+
+
+class Comm(Activity):
+    """A payload transfer through a mailbox.
+
+    The activity is created by whichever side posts first (PENDING); when
+    the other side arrives the engine *starts* it: the route between the
+    sender's and the receiver's hosts is resolved and the SURF network
+    action created.
+    """
+
+    kind = "comm"
+
+    def __init__(self, mailbox: "Mailbox", payload: Any = None,
+                 size: float = 0.0,
+                 src_actor: Optional["Actor"] = None,
+                 dst_actor: Optional["Actor"] = None,
+                 rate: Optional[float] = None,
+                 detached: bool = False,
+                 priority: float = 1.0,
+                 name: str = "") -> None:
+        super().__init__(name or "comm")
+        self.mailbox = mailbox
+        self.payload = payload
+        self.size = float(size)
+        self.src_actor = src_actor
+        self.dst_actor = dst_actor
+        self.rate = rate
+        self.detached = detached
+        self.priority = priority
+        #: Which side built this comm ("send"/"recv"), for deferred start.
+        self._direction: Optional[str] = None
+
+    def get_payload(self) -> Any:
+        """The transported payload (valid once the comm succeeded)."""
+        return self._resolved().payload
+
+    # -- MSG-era aliases ---------------------------------------------------------------
+    @property
+    def task(self) -> Any:
+        return self._resolved().payload
+
+    @task.setter
+    def task(self, value: Any) -> None:
+        self._resolved().payload = value
+
+    @property
+    def src_process(self) -> Optional["Actor"]:
+        return self._resolved().src_actor
+
+    @property
+    def dst_process(self) -> Optional["Actor"]:
+        return self._resolved().dst_actor
+
+    @property
+    def src_host(self) -> Optional["Host"]:
+        src = self._resolved().src_actor
+        return src.host if src is not None else None
+
+    @property
+    def dst_host(self) -> Optional["Host"]:
+        dst = self._resolved().dst_actor
+        return dst.host if dst is not None else None
+
+
+class Sleep(Activity):
+    """A pure delay, as a waitable activity (async ``sleep``)."""
+
+    kind = "sleep"
+
+    def __init__(self, actor: "Actor", duration: float) -> None:
+        super().__init__("sleep")
+        self.actor = actor
+        self.duration = duration
+        self._timer = None
+
+    @property
+    def process(self) -> "Actor":
+        """MSG-era alias of :attr:`actor`."""
+        return self.actor
+
+
+class ActivitySet:
+    """A bag of activities an actor reaps as they complete.
+
+    Mirrors S4U's ``ActivitySet``: :meth:`wait_any` blocks until one member
+    completes, removes it from the set and returns it; :meth:`wait_all`
+    blocks until every member completed.
+    """
+
+    def __init__(self, activities: Iterable[Activity] = ()) -> None:
+        self._activities: List[Activity] = list(activities)
+
+    # -- container protocol ------------------------------------------------------------
+    def push(self, activity: Activity) -> None:
+        """Add an activity to the set."""
+        if activity not in self._activities:
+            self._activities.append(activity)
+
+    def erase(self, activity: Activity) -> None:
+        """Remove an activity from the set (no-op when absent)."""
+        try:
+            self._activities.remove(activity)
+        except ValueError:
+            pass
+
+    def empty(self) -> bool:
+        return not self._activities
+
+    def size(self) -> int:
+        return len(self._activities)
+
+    def __len__(self) -> int:
+        return len(self._activities)
+
+    def __iter__(self):
+        return iter(self._activities)
+
+    def __contains__(self, activity: Activity) -> bool:
+        return activity in self._activities
+
+    @property
+    def activities(self) -> List[Activity]:
+        """A snapshot of the current members."""
+        return list(self._activities)
+
+    # -- blocking API ------------------------------------------------------------------
+    def wait_any(self, timeout: Optional[float] = None):
+        """Block until one member completes; it is removed and returned.
+
+        Raises ``SimTimeoutError`` when ``timeout`` fires first, and the
+        completing activity's error (``TransferFailureError``...) when it
+        did not succeed.
+        """
+        if not self._activities:
+            raise ValueError("wait_any on an empty ActivitySet")
+        return _submit(WaitAnyCall(activities=list(self._activities),
+                                   timeout=timeout, owner=self))
+
+    def wait_all(self, timeout: Optional[float] = None):
+        """Block until every member completed; the set is emptied."""
+        if not self._activities:
+            raise ValueError("wait_all on an empty ActivitySet")
+        return _submit(WaitAllCall(activities=list(self._activities),
+                                   timeout=timeout, owner=self))
+
+    def test_any(self):
+        """Non-blocking reap: a completed member (removed) or ``None``."""
+        for activity in self._activities:
+            if activity.is_over():
+                self.erase(activity)
+                return activity
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ActivitySet({self._activities!r})"

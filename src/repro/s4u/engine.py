@@ -1,0 +1,940 @@
+"""The S4U engine: the one simulation kernel every user-facing API runs on.
+
+The engine is the orchestrator tying everything together (SimGrid's
+*simix*, later ``s4u::Engine``):
+
+* it owns the realized :class:`~repro.platform.platform.Platform` and its
+  :class:`~repro.surf.engine.SurfEngine`;
+* it schedules the simulated actors (created, suspended, resumed and
+  killed dynamically, as the paper requires);
+* it matches senders and receivers on mailboxes, creates the SURF actions
+  realising executions and transfers, and advances simulated time;
+* it converts resource failures into the exceptions the paper's API
+  reports (host failure, transfer failure, timeouts).
+
+MSG (:class:`repro.msg.Environment`), GRAS (in simulation mode) and SMPI
+are all thin adapters over this engine: an MSG *process* is an S4U actor,
+an MSG *activity* is an S4U activity, and the MSG blocking helpers build
+the very same kernel simcalls the S4U mailbox/activity methods build.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Type, Union
+
+from repro.exceptions import (
+    CancelledError,
+    DeadlockError,
+    HostFailureError,
+    PlatformError,
+    SimTimeoutError,
+    TransferFailureError,
+)
+from repro.kernel.context import FINISHED, make_context_factory
+from repro.kernel.simcall import (
+    ExecAsyncCall, ExecuteCall, IrecvCall, IsendCall, JoinCall, KillCall,
+    RecvCall, ResumeCall, SendCall, Simcall, SleepAsyncCall, SleepCall,
+    StartCall, SuspendCall, TestCall, WaitAllCall, WaitAnyCall, WaitCall,
+    YieldCall,
+)
+from repro.kernel.timer import TimerQueue
+from repro.s4u import actor as _actor_mod
+from repro.s4u.activity import Activity, ActivityState, Comm, Exec, Sleep
+from repro.s4u.actor import Actor, ActorState
+from repro.s4u.host import Host
+from repro.s4u.mailbox import Mailbox
+from repro.platform.platform import Platform
+from repro.surf.cpu import CpuResource
+
+__all__ = ["Engine"]
+
+_EPS = 1e-12
+
+
+class Engine:
+    """A complete simulation world: platform + actors + simulated time.
+
+    Parameters
+    ----------
+    platform:
+        The platform description.  It is realized automatically if needed.
+    context_factory:
+        ``"generator"`` (default) or ``"thread"`` — how simulated actor
+        bodies are executed (see :mod:`repro.kernel.context`).
+    recorder:
+        Optional :class:`repro.tracing.recorder.Recorder` receiving the
+        computation/communication intervals (to build Gantt charts).
+    raise_on_deadlock:
+        When True, :meth:`run` raises :class:`DeadlockError` if every
+        remaining actor is blocked forever; otherwise the simulation just
+        ends (mirroring SimGrid's warning).
+    """
+
+    def __init__(self, platform: Platform,
+                 context_factory: str = "generator",
+                 recorder=None,
+                 raise_on_deadlock: bool = False) -> None:
+        self.platform = platform
+        if not platform.realized:
+            platform.realize()
+        self.surf = platform.engine
+        self.context_factory = make_context_factory(context_factory)
+        self.recorder = recorder
+        self.raise_on_deadlock = raise_on_deadlock
+
+        self.hosts: Dict[str, Host] = {}
+        for name, spec in platform.hosts.items():
+            self.hosts[name] = Host(self, spec, platform.cpu_by_host[name])
+        self._host_by_cpu: Dict[int, Host] = {
+            id(host.cpu): host for host in self.hosts.values()}
+
+        self.mailboxes: Dict[str, Mailbox] = {}
+        self.actors: List[Actor] = []
+        self.timers = TimerQueue()
+        self._ready: Deque[Tuple[Actor, object, Optional[BaseException]]] = deque()
+        self._alive_nondaemon = 0
+        self._active_comms: set = set()
+        self._deadlocked = False
+
+    # ------------------------------------------------------------------------------
+    # world accessors
+    # ------------------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.surf.clock
+
+    @property
+    def engine(self):
+        """The underlying :class:`~repro.surf.engine.SurfEngine`.
+
+        Kept under the historical MSG name (``Environment.engine``) so the
+        pre-s4u call sites keep working.
+        """
+        return self.surf
+
+    def host(self, name: str) -> Host:
+        """Lookup a host by name."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise PlatformError(f"unknown host {name!r}") from None
+
+    def host_by_name(self, name: str) -> Host:
+        """Alias of :meth:`host` (``Engine.host_by_name``)."""
+        return self.host(name)
+
+    def mailbox(self, name: str) -> Mailbox:
+        """Get (or lazily create) a mailbox by name."""
+        box = self.mailboxes.get(name)
+        if box is None:
+            box = Mailbox(name, engine=self)
+            self.mailboxes[name] = box
+        return box
+
+    # ------------------------------------------------------------------------------
+    # actor management (engine-level API)
+    # ------------------------------------------------------------------------------
+    def add_actor(self, name: str, host: Union[str, Host], func: Callable,
+                  *args, daemon: bool = False,
+                  actor_cls: Optional[Type[Actor]] = None,
+                  **kwargs) -> Actor:
+        """Create a simulated actor and make it runnable immediately.
+
+        ``actor_cls`` lets the compat layers (MSG) inject their actor
+        subclass so the bodies receive the API object they expect.
+        """
+        host_obj = host if isinstance(host, Host) else self.host(host)
+        cls = actor_cls or Actor
+        actor = cls(self, name, host_obj, func, args, kwargs, daemon=daemon)
+        actor.context = self.context_factory.create(
+            func, (actor, *args), kwargs)
+        actor.context.start()
+        actor.state = ActorState.RUNNABLE
+        self.actors.append(actor)
+        host_obj.actors.append(actor)
+        if not daemon:
+            self._alive_nondaemon += 1
+        self._enqueue(actor, None)
+        return actor
+
+    def actor_count(self) -> int:
+        """Number of actors still alive."""
+        return sum(1 for a in self.actors if a.is_alive)
+
+    def kill_actor(self, actor: Actor) -> None:
+        """Kill an actor from outside the simulation (tests, controllers)."""
+        self._kill_actor(actor)
+
+    def suspend_actor(self, actor: Actor) -> None:
+        """Suspend an actor from outside the simulation."""
+        self._suspend_other(actor)
+
+    def fail_host(self, host: Host) -> None:
+        """Turn a host off: its activities fail, its actors are killed."""
+        failed = self.surf.fail_host(host.cpu)
+        for action in failed:
+            activity = action.data
+            if isinstance(activity, Activity):
+                self._finish_activity(activity, ActivityState.FAILED)
+        self._on_host_down(host)
+
+    def restore_host(self, host: Host) -> None:
+        """Turn a failed host back on."""
+        self.surf.restore_host(host.cpu)
+
+    # ------------------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation until it ends (or until the given date).
+
+        Returns the final simulated time.
+        """
+        limit = math.inf if until is None else float(until)
+        while True:
+            self._schedule_ready()
+            if self._simulation_over():
+                break
+            bound = min(self.timers.next_date(), limit)
+            result = self.surf.step(until=bound)
+            if result is None:
+                # No action can complete, no trace event, no timer, no limit:
+                # the remaining actors (if any) are deadlocked.
+                self._handle_deadlock()
+                break
+            now = result.time
+            self._handle_state_changes(result.state_changes)
+            for action in result.failed:
+                activity = action.data
+                if isinstance(activity, Activity):
+                    self._finish_activity(activity, ActivityState.FAILED)
+            for action in result.completed:
+                activity = action.data
+                if isinstance(activity, Activity):
+                    self._finish_activity(activity, ActivityState.DONE)
+            self.timers.fire_until(now)
+            if until is not None and now >= limit - _EPS:
+                self._schedule_ready()
+                break
+        return self.now
+
+    @property
+    def deadlocked(self) -> bool:
+        """True when the last run ended because of a deadlock."""
+        return self._deadlocked
+
+    # -- loop helpers -------------------------------------------------------------------
+    def _enqueue(self, actor: Actor, value=None,
+                 exception: Optional[BaseException] = None) -> None:
+        self._ready.append((actor, value, exception))
+
+    def _schedule_ready(self) -> None:
+        while self._ready:
+            actor, value, exception = self._ready.popleft()
+            if actor.state == ActorState.DEAD:
+                continue
+            if actor._suspended:
+                actor._parked_resume = (value, exception)
+                continue
+            self._run_actor(actor, value, exception)
+
+    def _run_actor(self, actor: Actor, value=None,
+                   exception: Optional[BaseException] = None) -> None:
+        actor.state = ActorState.RUNNABLE
+        previous = _actor_mod._current
+        _actor_mod._current = actor
+        try:
+            request = actor.context.resume(value, exception)
+        finally:
+            _actor_mod._current = previous
+        if request is FINISHED:
+            self._terminate_actor(actor)
+            return
+        self._handle_simcall(actor, request)
+
+    def _simulation_over(self) -> bool:
+        if self._ready:
+            return False
+        if self._alive_nondaemon == 0:
+            self._kill_remaining_daemons()
+            return True
+        if (not self.surf.has_running_actions()
+                and not self.timers
+                and math.isinf(self.surf.next_trace_event_date())):
+            self._handle_deadlock()
+            return True
+        return False
+
+    def _kill_remaining_daemons(self) -> None:
+        for actor in list(self.actors):
+            if actor.is_alive and actor.daemon:
+                self._kill_actor(actor)
+
+    def _handle_deadlock(self) -> None:
+        survivors = [a for a in self.actors if a.is_alive]
+        if not survivors:
+            return
+        self._deadlocked = True
+        for actor in survivors:
+            self._kill_actor(actor)
+        if self.raise_on_deadlock:
+            names = ", ".join(a.name for a in survivors)
+            raise DeadlockError(
+                f"simulation deadlocked at t={self.now:g}: "
+                f"actors [{names}] are blocked forever")
+
+    def _handle_state_changes(self, state_changes) -> None:
+        for resource, is_on in state_changes:
+            if isinstance(resource, CpuResource) and not is_on:
+                host = self._host_by_cpu.get(id(resource))
+                if host is not None:
+                    self._on_host_down(host)
+
+    def _on_host_down(self, host: Host) -> None:
+        # Fail every started communication touching this host.
+        for comm in list(self._active_comms):
+            if comm.is_over():
+                continue
+            if (comm.src_host is host) or (comm.dst_host is host):
+                if comm.surf_action is not None and comm.surf_action.is_running():
+                    comm.surf_action.cancel(self.now)
+                self._finish_activity(comm, ActivityState.FAILED)
+        # Kill every actor running on this host.
+        for actor in list(host.actors):
+            if actor.is_alive:
+                self._kill_actor(actor)
+
+    # ------------------------------------------------------------------------------
+    # simcall handling
+    # ------------------------------------------------------------------------------
+    def _handle_simcall(self, actor: Actor, call: Simcall) -> None:
+        actor.state = ActorState.BLOCKED
+        if isinstance(call, ExecuteCall):
+            self._do_execute(actor, call)
+        elif isinstance(call, ExecAsyncCall):
+            self._do_exec_async(actor, call)
+        elif isinstance(call, SleepCall):
+            self._do_sleep(actor, call)
+        elif isinstance(call, SleepAsyncCall):
+            self._do_sleep_async(actor, call)
+        elif isinstance(call, SendCall):
+            self._do_send(actor, call)
+        elif isinstance(call, RecvCall):
+            self._do_recv(actor, call)
+        elif isinstance(call, IsendCall):
+            self._do_isend(actor, call)
+        elif isinstance(call, IrecvCall):
+            self._do_irecv(actor, call)
+        elif isinstance(call, StartCall):
+            self._do_start(actor, call)
+        elif isinstance(call, WaitCall):
+            self._do_wait(actor, call)
+        elif isinstance(call, WaitAnyCall):
+            self._do_wait_any(actor, call)
+        elif isinstance(call, WaitAllCall):
+            self._do_wait_all(actor, call)
+        elif isinstance(call, TestCall):
+            self._enqueue(actor, call.activity.is_over())
+        elif isinstance(call, KillCall):
+            target = call.process
+            self._kill_actor(target)
+            if target is not actor:
+                self._enqueue(actor, None)
+        elif isinstance(call, SuspendCall):
+            self._do_suspend(actor, call)
+        elif isinstance(call, ResumeCall):
+            self._do_resume_other(actor, call)
+        elif isinstance(call, JoinCall):
+            self._do_join(actor, call)
+        elif isinstance(call, YieldCall):
+            self._enqueue(actor, None)
+        else:
+            raise TypeError(f"unknown simcall {call!r}")
+
+    # -- execution ---------------------------------------------------------------------
+    def _start_exec(self, activity: Exec) -> None:
+        """Create the SURF action realising an Exec and mark it started."""
+        activity.post_time = self.now
+        activity.start_time = self.now
+        action = self.surf.cpu_model.execute(activity.host.cpu,
+                                             activity.flops,
+                                             priority=activity.priority,
+                                             bound=activity.bound)
+        action.data = activity
+        activity.surf_action = action
+        activity.state = ActivityState.STARTED
+        activity._engine = self
+
+    def _do_execute(self, actor: Actor, call: ExecuteCall) -> None:
+        host: Host = call.host if isinstance(call.host, Host) else actor.host
+        if not host.is_on:
+            self._enqueue(actor, None,
+                          HostFailureError(f"host {host.name} is down"))
+            return
+        activity = Exec(actor, host, call.flops, call.name,
+                        priority=call.priority, bound=call.bound)
+        self._start_exec(activity)
+        activity.add_waiter(actor)
+        self._block_on(actor, "exec", [activity])
+
+    def _do_exec_async(self, actor: Actor, call: ExecAsyncCall) -> None:
+        host: Host = call.host if isinstance(call.host, Host) else actor.host
+        if not host.is_on:
+            self._enqueue(actor, None,
+                          HostFailureError(f"host {host.name} is down"))
+            return
+        activity = Exec(actor, host, call.flops, call.name,
+                        priority=call.priority, bound=call.bound)
+        self._start_exec(activity)
+        self._enqueue(actor, activity)
+
+    def _do_sleep(self, actor: Actor, call: SleepCall) -> None:
+        wake_date = self.now + call.duration
+
+        def _wake() -> None:
+            if actor.state == ActorState.DEAD:
+                return
+            self._clear_wait(actor)
+            self._enqueue(actor, None)
+
+        timer = self.timers.schedule(wake_date, _wake)
+        actor._wait_kind = "sleep"
+        actor._wait_activities = []
+        actor._wait_timer = timer
+
+    def _do_sleep_async(self, actor: Actor, call: SleepAsyncCall) -> None:
+        activity = Sleep(actor, call.duration)
+        self._start_sleep(activity)
+        self._enqueue(actor, activity)
+
+    def _start_sleep(self, activity: Sleep) -> None:
+        activity.post_time = self.now
+        activity.start_time = self.now
+        activity.state = ActivityState.STARTED
+        activity._engine = self
+        activity._timer = self.timers.schedule(
+            self.now + activity.duration,
+            lambda: self._finish_activity(activity, ActivityState.DONE))
+
+    # -- communications -------------------------------------------------------------------
+    def _do_send(self, actor: Actor, call: SendCall) -> None:
+        comm = self._post_send(actor, call.mailbox, call.payload, call.size,
+                               call.rate, detached=False,
+                               priority=call.priority, name=call.name)
+        comm.add_waiter(actor)
+        self._block_on(actor, "send", [comm], timeout=call.timeout)
+
+    def _do_recv(self, actor: Actor, call: RecvCall) -> None:
+        comm = self._post_recv(actor, call.mailbox, call.rate)
+        comm.add_waiter(actor)
+        self._block_on(actor, "recv", [comm], timeout=call.timeout)
+
+    def _do_isend(self, actor: Actor, call: IsendCall) -> None:
+        comm = self._post_send(actor, call.mailbox, call.payload, call.size,
+                               call.rate, detached=call.detached,
+                               priority=call.priority, name=call.name)
+        self._enqueue(actor, comm)
+
+    def _do_irecv(self, actor: Actor, call: IrecvCall) -> None:
+        comm = self._post_recv(actor, call.mailbox, call.rate)
+        self._enqueue(actor, comm)
+
+    def _post_send(self, actor: Actor, mailbox: Mailbox, payload,
+                   size: float, rate: Optional[float], detached: bool,
+                   priority: float = 1.0, name: str = "",
+                   prebuilt: Optional[Comm] = None) -> Comm:
+        # Let MSG tasks (or any payload implementing the hook) learn who
+        # sent them, without the kernel knowing about Task.
+        hook = getattr(payload, "_on_comm_post", None)
+        if hook is not None:
+            hook(actor)
+        peer = mailbox.pop_matching_recv()
+        if peer is not None:
+            comm = peer
+            comm.payload = payload
+            comm.size = size
+            comm.src_actor = actor
+            comm.priority = priority
+            if name:
+                comm.name = name
+            if rate is not None:
+                comm.rate = rate if comm.rate is None else min(comm.rate, rate)
+            comm.detached = detached
+            if prebuilt is not None and prebuilt is not comm:
+                prebuilt._master = comm
+            self._start_comm(comm)
+        else:
+            comm = prebuilt if prebuilt is not None else Comm(
+                mailbox, payload=payload, size=size, src_actor=actor,
+                rate=rate, detached=detached, priority=priority, name=name)
+            comm.state = ActivityState.PENDING
+            comm._direction = "send"
+            comm._engine = self
+            comm.post_time = self.now
+            mailbox.post_send(comm)
+        return comm
+
+    def _post_recv(self, actor: Actor, mailbox: Mailbox,
+                   rate: Optional[float],
+                   prebuilt: Optional[Comm] = None) -> Comm:
+        peer = mailbox.pop_matching_send()
+        if peer is not None:
+            comm = peer
+            comm.dst_actor = actor
+            if rate is not None:
+                comm.rate = rate if comm.rate is None else min(comm.rate, rate)
+            if prebuilt is not None and prebuilt is not comm:
+                prebuilt._master = comm
+            self._start_comm(comm)
+        else:
+            comm = prebuilt if prebuilt is not None else Comm(
+                mailbox, dst_actor=actor, rate=rate)
+            comm.state = ActivityState.PENDING
+            comm._direction = "recv"
+            comm._engine = self
+            comm.post_time = self.now
+            mailbox.post_recv(comm)
+        return comm
+
+    def _start_comm(self, comm: Comm) -> None:
+        src_host = comm.src_actor.host
+        dst_host = comm.dst_actor.host
+        comm._engine = self
+        if not src_host.is_on or not dst_host.is_on:
+            self._finish_activity(comm, ActivityState.FAILED)
+            return
+        links = self.platform.route_resources(src_host.name, dst_host.name)
+        action = self.surf.network_model.communicate(
+            links, comm.size, rate=comm.rate, priority=comm.priority)
+        action.data = comm
+        comm.surf_action = action
+        comm.state = ActivityState.STARTED
+        comm.start_time = self.now
+        hook = getattr(comm.payload, "_on_comm_start", None)
+        if hook is not None:
+            hook(comm)
+        self._active_comms.add(comm)
+
+    # -- deferred (``*_init``) activities ---------------------------------------------------
+    def _do_start(self, actor: Actor, call: StartCall) -> None:
+        try:
+            activity = self._start_activity(actor, call.activity)
+        except HostFailureError as exc:
+            self._enqueue(actor, None, exc)
+            return
+        self._enqueue(actor, activity)
+
+    def _start_activity(self, actor: Actor, handle: Activity) -> Activity:
+        """Start a ``*_init`` activity; returns the canonical activity.
+
+        Starting a comm whose peer is already pending merges the handle
+        into the peer (the handle then forwards every query to it).
+        """
+        activity = handle._resolved()
+        if activity.state is not ActivityState.INITED:
+            return activity
+        if isinstance(activity, Comm):
+            if activity._direction == "send":
+                return self._post_send(
+                    activity.src_actor, activity.mailbox, activity.payload,
+                    activity.size, activity.rate, activity.detached,
+                    priority=activity.priority, name=activity.name,
+                    prebuilt=activity)
+            return self._post_recv(activity.dst_actor, activity.mailbox,
+                                   activity.rate, prebuilt=activity)
+        if isinstance(activity, Exec):
+            if not activity.host.is_on:
+                raise HostFailureError(f"host {activity.host.name} is down")
+            self._start_exec(activity)
+            return activity
+        if isinstance(activity, Sleep):
+            self._start_sleep(activity)
+            return activity
+        raise TypeError(f"cannot start {activity!r}")
+
+    # -- waiting -----------------------------------------------------------------------
+    def _do_wait(self, actor: Actor, call: WaitCall) -> None:
+        activity: Activity = call.activity._resolved()
+        if activity.state is ActivityState.INITED:
+            try:
+                activity = self._start_activity(actor, activity)._resolved()
+            except HostFailureError as exc:
+                self._enqueue(actor, None, exc)
+                return
+        if activity.is_over():
+            value, exc = self._activity_result(actor, activity)
+            self._enqueue(actor, value, exc)
+            return
+        activity.add_waiter(actor)
+        self._block_on(actor, "wait", [activity], timeout=call.timeout)
+
+    def _resolve_and_start(self, actor: Actor, handles) -> List[Activity]:
+        """Resolve handles, auto-starting any still-INITED ones."""
+        activities = []
+        for handle in handles:
+            activity = handle._resolved()
+            if activity.state is ActivityState.INITED:
+                activity = self._start_activity(actor, activity)._resolved()
+            activities.append(activity)
+        return activities
+
+    def _do_wait_any(self, actor: Actor, call: WaitAnyCall) -> None:
+        try:
+            activities = self._resolve_and_start(actor, call.activities)
+        except HostFailureError as exc:
+            self._enqueue(actor, None, exc)
+            return
+        if not activities:
+            raise ValueError("wait_any needs at least one activity")
+        for idx, activity in enumerate(activities):
+            if activity.is_over():
+                self._block_on(actor, "wait_any", activities,
+                               owner=call.owner)
+                value, exc = self._activity_result(actor, activity)
+                self._clear_wait(actor)
+                self._enqueue(actor, value, exc)
+                return
+        for activity in activities:
+            activity.add_waiter(actor)
+        self._block_on(actor, "wait_any", activities, timeout=call.timeout,
+                       owner=call.owner)
+
+    def _do_wait_all(self, actor: Actor, call: WaitAllCall) -> None:
+        try:
+            activities = self._resolve_and_start(actor, call.activities)
+        except HostFailureError as exc:
+            self._enqueue(actor, None, exc)
+            return
+        if not activities:
+            raise ValueError("wait_all needs at least one activity")
+        over = [a for a in activities if a.is_over()]
+        failed = next((a for a in over if not a.succeeded()), None)
+        if failed is not None:
+            self._block_on(actor, "wait_all", activities, owner=call.owner)
+            value, exc = self._activity_result(actor, failed)
+            self._clear_wait(actor)
+            self._enqueue(actor, value, exc)
+            return
+        if len(over) == len(activities):
+            self._reap_owner_all(call.owner, activities)
+            self._enqueue(actor, None)
+            return
+        for activity in activities:
+            if not activity.is_over():
+                activity.add_waiter(actor)
+        self._block_on(actor, "wait_all", activities, timeout=call.timeout,
+                       owner=call.owner)
+
+    def _block_on(self, actor: Actor, kind: str,
+                  activities: List[Activity],
+                  timeout: Optional[float] = None,
+                  owner=None) -> None:
+        actor._wait_kind = kind
+        actor._wait_activities = list(activities)
+        actor._wait_owner = owner
+        actor._wait_timer = None
+        if timeout is not None:
+            deadline = self.now + timeout
+            actor._wait_timer = self.timers.schedule(
+                deadline, lambda: self._on_wait_timeout(actor))
+
+    def _clear_wait(self, actor: Actor) -> None:
+        if actor._wait_timer is not None:
+            actor._wait_timer.cancel()
+        actor._wait_timer = None
+        actor._wait_kind = None
+        actor._wait_activities = []
+        actor._wait_owner = None
+
+    def _on_wait_timeout(self, actor: Actor) -> None:
+        if actor.state == ActorState.DEAD or actor._wait_kind is None:
+            return
+        kind = actor._wait_kind
+        activities = list(actor._wait_activities)
+        for entry in activities:
+            if isinstance(entry, Actor):  # join timeout
+                try:
+                    entry._joiners.remove(actor)
+                except ValueError:
+                    pass
+                continue
+            activity = entry
+            activity.remove_waiter(actor)
+            if isinstance(activity, Comm):
+                mine = (activity.src_actor is actor
+                        or activity.dst_actor is actor)
+                if activity.is_pending() and mine and kind in ("send", "recv"):
+                    # A synchronous send/recv owns its posted comm: abort it.
+                    # Waits on async handles only stop *waiting* — the comm
+                    # stays posted so the actor can wait on it again later.
+                    activity.mailbox.discard(activity)
+                    activity.state = ActivityState.TIMEOUT
+                elif activity.is_started() and mine and kind in ("send", "recv"):
+                    # Abort the rendezvous: the peer sees a transfer failure.
+                    if (activity.surf_action is not None
+                            and activity.surf_action.is_running()):
+                        activity.surf_action.cancel(self.now)
+                    self._active_comms.discard(activity)
+                    activity.state = ActivityState.TIMEOUT
+                    activity.finish_time = self.now
+                    for peer in list(activity.waiters):
+                        activity.remove_waiter(peer)
+                        self._clear_wait(peer)
+                        self._enqueue(peer, None, TransferFailureError(
+                            f"peer timed out on {activity.mailbox.name}"))
+        self._clear_wait(actor)
+        self._enqueue(actor, None, SimTimeoutError(
+            f"{kind} timed out at t={self.now:g}"))
+
+    # -- actor control ------------------------------------------------------------------
+    def _do_suspend(self, actor: Actor, call: SuspendCall) -> None:
+        target = call.process or actor
+        if target is actor:
+            target._suspended = True
+            target.state = ActorState.SUSPENDED
+            # Not rescheduled: it stays parked until someone resumes it.
+            target._parked_resume = (None, None)
+            return
+        self._suspend_other(target)
+        self._enqueue(actor, None)
+
+    def _suspend_other(self, target: Actor) -> None:
+        if not target.is_alive or target._suspended:
+            return
+        target._suspended = True
+        if target.state != ActorState.SUSPENDED:
+            target.state = ActorState.SUSPENDED
+        for activity in target._wait_activities:
+            if isinstance(activity, Exec) and activity.surf_action:
+                activity.surf_action.suspend()
+
+    def _do_resume_other(self, actor: Actor, call: ResumeCall) -> None:
+        self.resume_actor(call.process)
+        self._enqueue(actor, None)
+
+    def resume_actor(self, target: Actor) -> None:
+        """Resume a suspended actor (engine-level API)."""
+        if not target.is_alive or not target._suspended:
+            return
+        target._suspended = False
+        for activity in target._wait_activities:
+            if isinstance(activity, Exec) and activity.surf_action:
+                activity.surf_action.resume()
+        if target._parked_resume is not None:
+            value, exc = target._parked_resume
+            target._parked_resume = None
+            target.state = ActorState.RUNNABLE
+            self._enqueue(target, value, exc)
+        else:
+            target.state = ActorState.BLOCKED
+
+    def _do_join(self, actor: Actor, call: JoinCall) -> None:
+        target: Actor = call.process
+        if not target.is_alive:
+            self._enqueue(actor, None)
+            return
+        target._joiners.append(actor)
+        actor._wait_kind = "join"
+        actor._wait_activities = [target]
+        actor._wait_owner = None
+        actor._wait_timer = None
+        if call.timeout is not None:
+            actor._wait_timer = self.timers.schedule(
+                self.now + call.timeout,
+                lambda: self._on_wait_timeout(actor))
+
+    # ------------------------------------------------------------------------------
+    # activity completion
+    # ------------------------------------------------------------------------------
+    def cancel_activity(self, activity: Activity) -> None:
+        """Cancel an activity: stop its action/timer, wake its waiters."""
+        activity = activity._resolved()
+        if activity.is_over():
+            return
+        if (activity.surf_action is not None
+                and activity.surf_action.is_running()):
+            activity.surf_action.cancel(self.now)
+        if isinstance(activity, Sleep) and activity._timer is not None:
+            activity._timer.cancel()
+        if isinstance(activity, Comm) and activity.is_pending():
+            activity.mailbox.discard(activity)
+        self._finish_activity(activity, ActivityState.CANCELLED)
+
+    def _finish_activity(self, activity: Activity, state: ActivityState) -> None:
+        if activity.is_over():
+            return
+        activity.state = state
+        activity.finish_time = self.now
+        if isinstance(activity, Comm):
+            self._active_comms.discard(activity)
+        self._record_activity(activity)
+        waiters = list(activity.waiters)
+        activity.waiters.clear()
+        for actor in waiters:
+            self._wake_from_activity(actor, activity)
+
+    def _record_activity(self, activity: Activity) -> None:
+        if self.recorder is None or activity.start_time is None:
+            return
+        start = activity.start_time
+        end = activity.finish_time if activity.finish_time is not None else start
+        if isinstance(activity, Exec):
+            self.recorder.record_interval(
+                row=activity.host.name, category="compute",
+                start=start, end=end, label=activity.name)
+        elif isinstance(activity, Comm):
+            label = activity.name
+            if activity.src_host is not None:
+                self.recorder.record_interval(
+                    row=activity.src_host.name, category="comm-send",
+                    start=start, end=end, label=label)
+            if activity.dst_host is not None:
+                self.recorder.record_interval(
+                    row=activity.dst_host.name, category="comm-recv",
+                    start=start, end=end, label=label)
+
+    def _wake_from_activity(self, actor: Actor, activity: Activity) -> None:
+        if actor.state == ActorState.DEAD:
+            return
+        if actor._wait_kind is None:
+            return
+        if actor._wait_kind == "wait_all" and activity.succeeded():
+            # Keep waiting until every member completed.
+            pending = [a for a in actor._wait_activities
+                       if isinstance(a, Activity) and not a.is_over()]
+            if pending:
+                return
+            self._reap_owner_all(actor._wait_owner, actor._wait_activities)
+            self._clear_wait(actor)
+            self._enqueue(actor, None)
+            return
+        # Detach the actor from every other activity it was waiting on.
+        for other in actor._wait_activities:
+            if other is not activity and isinstance(other, Activity):
+                other.remove_waiter(actor)
+        value, exc = self._activity_result(actor, activity)
+        self._clear_wait(actor)
+        self._enqueue(actor, value, exc)
+
+    def _reap_owner_any(self, owner, activity: Activity
+                        ) -> Optional[Activity]:
+        """Remove the completed ``activity`` from its ActivitySet owner.
+
+        Returns the removed *member* — the very handle the user pushed,
+        which may be a ``*_init`` comm that was merged into a peer — so
+        identity checks on the caller side keep working.
+        """
+        if owner is None:
+            return None
+        for member in owner.activities:
+            if member._resolved() is activity:
+                owner.erase(member)
+                return member
+        return None
+
+    def _reap_owner_all(self, owner, activities) -> None:
+        if owner is None:
+            return
+        targets = {id(a) for a in activities}
+        for member in owner.activities:
+            if id(member._resolved()) in targets:
+                owner.erase(member)
+
+    def _activity_result(self, actor: Actor, activity: Activity
+                         ) -> Tuple[object, Optional[BaseException]]:
+        kind = actor._wait_kind
+        # Whatever the outcome, a terminated activity must leave the
+        # ActivitySet being reaped: otherwise a failed member would make
+        # every subsequent wait_any raise the same error forever and the
+        # set could never empty.
+        member = None
+        if kind in ("wait_any", "wait_all") and activity.is_over():
+            member = self._reap_owner_any(actor._wait_owner, activity)
+        if activity.state is ActivityState.DONE:
+            if kind == "wait_any":
+                if actor._wait_owner is not None:
+                    return (member if member is not None else activity), None
+                try:
+                    index = actor._wait_activities.index(activity)
+                except ValueError:
+                    index = 0
+                return index, None
+            if isinstance(activity, Comm) and (
+                    activity.dst_actor is actor):
+                return activity.payload, None
+            return None, None
+        if activity.state is ActivityState.FAILED:
+            if isinstance(activity, Comm):
+                return None, TransferFailureError(
+                    f"transfer {activity.name!r} failed at t={self.now:g}")
+            return None, HostFailureError(
+                f"host failed during {activity.name!r} at t={self.now:g}")
+        if activity.state is ActivityState.CANCELLED:
+            return None, CancelledError(
+                f"activity {activity.name!r} was cancelled")
+        if activity.state is ActivityState.TIMEOUT:
+            return None, SimTimeoutError(
+                f"activity {activity.name!r} timed out")
+        return None, None
+
+    # ------------------------------------------------------------------------------
+    # death
+    # ------------------------------------------------------------------------------
+    def _kill_actor(self, target: Actor) -> None:
+        if not target.is_alive:
+            return
+        self._detach_from_waits(target)
+        target.context.kill()
+        self._terminate_actor(target)
+
+    def _detach_from_waits(self, target: Actor) -> None:
+        if target._wait_timer is not None:
+            target._wait_timer.cancel()
+        for entry in list(target._wait_activities):
+            if isinstance(entry, Actor):
+                try:
+                    entry._joiners.remove(target)
+                except ValueError:
+                    pass
+                continue
+            activity = entry
+            activity.remove_waiter(target)
+            if isinstance(activity, Exec) and activity.actor is target:
+                if not activity.is_over():
+                    activity.cancel()
+            elif isinstance(activity, Comm):
+                mine = (activity.src_actor is target
+                        or activity.dst_actor is target)
+                if not mine:
+                    continue
+                if activity.is_pending():
+                    activity.mailbox.discard(activity)
+                    activity.state = ActivityState.CANCELLED
+                elif activity.is_started() and not activity.detached:
+                    if (activity.surf_action is not None
+                            and activity.surf_action.is_running()):
+                        activity.surf_action.cancel(self.now)
+                    self._finish_activity(activity, ActivityState.FAILED)
+        target._wait_kind = None
+        target._wait_activities = []
+        target._wait_owner = None
+        target._wait_timer = None
+
+    def _terminate_actor(self, actor: Actor) -> None:
+        if actor.state == ActorState.DEAD:
+            return
+        actor.state = ActorState.DEAD
+        try:
+            actor.host.actors.remove(actor)
+        except ValueError:
+            pass
+        if not actor.daemon:
+            self._alive_nondaemon -= 1
+        for joiner in actor._joiners:
+            if joiner.is_alive and joiner._wait_kind == "join":
+                self._clear_wait(joiner)
+                self._enqueue(joiner, None)
+        actor._joiners = []

@@ -1,0 +1,90 @@
+"""S4U hosts: the machines actors run on.
+
+Facade over a platform host and its realized CPU resource.  It exposes the
+host speed and load, carries the per-host "data" dictionary applications
+can hang state on, and lists the actors currently running on it.  The MSG
+``Host`` is this very class (re-exported by :mod:`repro.msg.host`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, TYPE_CHECKING
+
+from repro.platform.platform import HostSpec
+from repro.surf.cpu import CpuResource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.s4u.actor import Actor
+    from repro.s4u.engine import Engine
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One simulated machine: a name, a CPU, and the actors it hosts."""
+
+    def __init__(self, engine: "Engine", spec: HostSpec,
+                 cpu: CpuResource) -> None:
+        self._engine = engine
+        self.spec = spec
+        self.cpu = cpu
+        self.name = spec.name
+        #: Application-visible storage (``MSG_host_set_data``).
+        self.data: Dict[str, Any] = {}
+        self.actors: List["Actor"] = []
+
+    @property
+    def processes(self) -> List["Actor"]:
+        """MSG-era alias of :attr:`actors` (same list object)."""
+        return self.actors
+
+    # -- static information ---------------------------------------------------------
+    @property
+    def speed(self) -> float:
+        """Peak speed of one core, in flop/s."""
+        return self.cpu.speed
+
+    @property
+    def cores(self) -> int:
+        return self.cpu.cores
+
+    @property
+    def is_on(self) -> bool:
+        """Whether the host is currently up."""
+        return self.cpu.is_on
+
+    @property
+    def available_speed(self) -> float:
+        """Current speed of one core, after the availability trace."""
+        return self.cpu.core_speed
+
+    # -- dynamic information ----------------------------------------------------------
+    @property
+    def load(self) -> int:
+        """Number of computations currently running on this host."""
+        return sum(1 for action in self._engine.surf.cpu_model.running
+                   if action.cpu is self.cpu and action.is_running())
+
+    def actor_count(self) -> int:
+        """Number of simulated actors currently hosted here."""
+        return len(self.actors)
+
+    def process_count(self) -> int:
+        """MSG-era alias of :meth:`actor_count`."""
+        return len(self.actors)
+
+    # -- control ----------------------------------------------------------------------
+    def turn_off(self) -> None:
+        """Fail the host: running activities fail, its actors are killed."""
+        self._engine.fail_host(self)
+
+    def turn_on(self) -> None:
+        """Bring a failed host back up (does not restart actors)."""
+        self._engine.restore_host(self)
+
+    def compute_duration(self, flops: float) -> float:
+        """Time to compute ``flops`` alone on this host at full availability."""
+        return flops / self.speed if self.speed > 0 else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host(name={self.name!r}, speed={self.speed:g})"

@@ -1,0 +1,165 @@
+"""S4U mailboxes: named rendezvous points between actors.
+
+A mailbox matches senders and receivers.  The queue mechanics (the kernel
+side, used by the engine) live here together with the user-facing blocking
+API: :meth:`put` / :meth:`get` block until the transfer completed,
+:meth:`put_async` / :meth:`get_async` return a
+:class:`~repro.s4u.activity.Comm` future immediately, and
+:meth:`put_init` / :meth:`get_init` create an unstarted ``Comm`` to be
+``start()``-ed later.
+
+The MSG port helpers derive the canonical name ``"<host>:<port>"`` so the
+paper's port-based examples translate directly, but any string names a
+mailbox (which is what GRAS and SMPI do internally).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, TYPE_CHECKING
+
+from repro.kernel.simcall import IrecvCall, IsendCall, RecvCall, SendCall
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.s4u.activity import Comm
+
+__all__ = ["Mailbox"]
+
+
+def _payload_name(payload: Any) -> str:
+    name = getattr(payload, "name", None)
+    return name if isinstance(name, str) else "comm"
+
+
+class Mailbox:
+    """A named rendezvous point between senders and receivers."""
+
+    def __init__(self, name: str, engine=None) -> None:
+        self.name = name
+        self._engine = engine
+        #: Communications posted by senders, waiting for a receiver.
+        self.pending_sends: Deque["Comm"] = deque()
+        #: Communications posted by receivers, waiting for a sender.
+        self.pending_recvs: Deque["Comm"] = deque()
+
+    # ------------------------------------------------------------------------------
+    # user-facing blocking API
+    # ------------------------------------------------------------------------------
+    def put(self, payload: Any, size: float = 0.0,
+            rate: Optional[float] = None, timeout: Optional[float] = None,
+            priority: float = 1.0, name: Optional[str] = None):
+        """Send ``payload`` (``size`` simulated bytes); blocks until the
+        receiver has fully received it (rendezvous semantics)."""
+        return self._submit(SendCall(
+            mailbox=self, payload=payload, size=float(size), rate=rate,
+            timeout=timeout, priority=priority,
+            name=name or _payload_name(payload)))
+
+    def get(self, timeout: Optional[float] = None,
+            rate: Optional[float] = None):
+        """Receive the next payload; blocks until a sender shows up and the
+        transfer completed.  The result is the payload."""
+        return self._submit(RecvCall(mailbox=self, timeout=timeout,
+                                     rate=rate))
+
+    def put_async(self, payload: Any, size: float = 0.0,
+                  rate: Optional[float] = None, detached: bool = False,
+                  priority: float = 1.0, name: Optional[str] = None):
+        """Start an asynchronous send; the result is a ``Comm`` future."""
+        return self._submit(IsendCall(
+            mailbox=self, payload=payload, size=float(size), rate=rate,
+            detached=detached, priority=priority,
+            name=name or _payload_name(payload)))
+
+    def get_async(self, rate: Optional[float] = None):
+        """Start an asynchronous receive; the result is a ``Comm`` future."""
+        return self._submit(IrecvCall(mailbox=self, rate=rate))
+
+    def put_init(self, payload: Any, size: float = 0.0,
+                 rate: Optional[float] = None, detached: bool = False,
+                 priority: float = 1.0, name: Optional[str] = None):
+        """Create an *unstarted* send-side ``Comm`` (S4U ``put_init``).
+
+        The communication is only posted when ``start()`` (or ``wait()``)
+        is called on it.
+        """
+        from repro.s4u.activity import ActivityState, Comm
+        from repro.s4u.actor import current_actor
+        comm = Comm(mailbox=self, payload=payload, size=float(size),
+                    src_actor=current_actor(), rate=rate, detached=detached,
+                    priority=priority, name=name or _payload_name(payload))
+        comm.state = ActivityState.INITED
+        comm._direction = "send"
+        comm._engine = self._engine
+        return comm
+
+    def get_init(self, rate: Optional[float] = None):
+        """Create an *unstarted* receive-side ``Comm`` (S4U ``get_init``)."""
+        from repro.s4u.activity import ActivityState, Comm
+        from repro.s4u.actor import current_actor
+        comm = Comm(mailbox=self, dst_actor=current_actor(), rate=rate)
+        comm.state = ActivityState.INITED
+        comm._direction = "recv"
+        comm._engine = self._engine
+        return comm
+
+    def _submit(self, simcall):
+        from repro.s4u.actor import current_actor
+        return current_actor()._submit(simcall)
+
+    # ------------------------------------------------------------------------------
+    # kernel-side matching (used by the engine)
+    # ------------------------------------------------------------------------------
+    def pop_matching_send(self) -> Optional["Comm"]:
+        """Oldest sender-side communication still waiting, if any."""
+        while self.pending_sends:
+            comm = self.pending_sends[0]
+            if comm.is_pending():
+                return self.pending_sends.popleft()
+            self.pending_sends.popleft()
+        return None
+
+    def pop_matching_recv(self) -> Optional["Comm"]:
+        """Oldest receiver-side communication still waiting, if any."""
+        while self.pending_recvs:
+            comm = self.pending_recvs[0]
+            if comm.is_pending():
+                return self.pending_recvs.popleft()
+            self.pending_recvs.popleft()
+        return None
+
+    def post_send(self, comm: "Comm") -> None:
+        """Queue a sender-side communication until a receiver shows up."""
+        self.pending_sends.append(comm)
+
+    def post_recv(self, comm: "Comm") -> None:
+        """Queue a receiver-side communication until a sender shows up."""
+        self.pending_recvs.append(comm)
+
+    def discard(self, comm: "Comm") -> None:
+        """Remove a communication from the queues (timeout, kill, cancel)."""
+        try:
+            self.pending_sends.remove(comm)
+        except ValueError:
+            pass
+        try:
+            self.pending_recvs.remove(comm)
+        except ValueError:
+            pass
+
+    @property
+    def empty(self) -> bool:
+        """True when no communication is waiting on this mailbox."""
+        return not self.pending_sends and not self.pending_recvs
+
+    def waiting_send_count(self) -> int:
+        """Number of sender-side communications currently queued (probe)."""
+        return sum(1 for c in self.pending_sends if c.is_pending())
+
+    def ready(self) -> bool:
+        """True when a ``get`` would match an already-posted send."""
+        return self.waiting_send_count() > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Mailbox(name={self.name!r}, sends={len(self.pending_sends)},"
+                f" recvs={len(self.pending_recvs)})")

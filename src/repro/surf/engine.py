@@ -87,6 +87,7 @@ class SurfEngine:
         self._trace_heap: List[Tuple[float, int, Resource, TraceKind,
                                      float, TraceIterator]] = []
         self._seq = itertools.count()
+        self._zero_progress_steps = 0
 
     # -- resource registration -------------------------------------------------------
     def register_resource_traces(self, resource: Resource) -> None:
@@ -186,6 +187,21 @@ class SurfEngine:
         reached_bound = (delta_bound <= min_delta + _TIME_EPSILON
                          and delta_bound <= delta_trace + _TIME_EPSILON
                          and not math.isinf(until))
+
+        # Spin guard: a model reporting "something completes in 0 s" while
+        # nothing actually completes would loop here forever without
+        # advancing the clock (the loopback-communication hang was exactly
+        # that).  Turn such a wedge into a loud error instead.
+        if (delta <= 0 and not completed and not failed
+                and not state_changes and not reached_bound):
+            self._zero_progress_steps += 1
+            if self._zero_progress_steps > 10000:
+                raise RuntimeError(
+                    f"SURF engine stalled at t={self.clock:g}: "
+                    f"{self._zero_progress_steps} consecutive zero-delay "
+                    f"steps without any action completing")
+        else:
+            self._zero_progress_steps = 0
         return StepResult(new_time, completed, failed, reached_bound,
                           state_changes)
 

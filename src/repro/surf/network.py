@@ -254,8 +254,14 @@ class NetworkModel:
                 self.on_action_priority_changed(action)
             if remaining_delta > 0:
                 action.update_remaining(remaining_delta)
+            # A transfer whose rate is unconstrained (empty route and no
+            # rate cap: a loopback communication) completes as soon as its
+            # latency is paid; without this, its infinite rate would make
+            # share_resources report a zero delay forever and the engine
+            # would spin without advancing time.
             if (not action.in_latency_phase
-                    and action.remaining <= _COMPLETION_EPSILON):
+                    and (action.remaining <= _COMPLETION_EPSILON
+                         or math.isinf(action.rate))):
                 action.remaining = 0.0
                 action.finish(now, ActionState.DONE)
                 finished.append(action)

@@ -1,0 +1,523 @@
+"""Tests for the s4u actor/activity API: futures, ActivitySet, timeouts."""
+
+import pytest
+
+from repro import s4u
+from repro.exceptions import SimTimeoutError
+from repro.platform import Platform, make_star
+from repro.s4u import ActivitySet, Engine, this_actor
+
+
+def pair_platform(speed=1e9, bandwidth=1e6, latency=0.0):
+    platform = Platform("pair")
+    platform.add_host("alice", speed)
+    platform.add_host("bob", speed)
+    platform.add_link("wire", bandwidth, latency)
+    platform.connect("alice", "bob", "wire")
+    return platform
+
+
+class TestEngineBasics:
+    def test_add_actor_and_run(self):
+        engine = Engine(pair_platform())
+        times = {}
+
+        def worker(actor):
+            yield actor.execute(2e9)
+            times["done"] = actor.now
+
+        engine.add_actor("worker", "alice", worker)
+        engine.run()
+        assert times["done"] == pytest.approx(2.0)
+
+    def test_this_actor_helpers(self):
+        engine = Engine(pair_platform())
+        seen = {}
+
+        def worker(actor):
+            seen["name"] = this_actor.get_name()
+            seen["host"] = this_actor.get_host().name
+            seen["self"] = this_actor.self_() is actor
+            yield this_actor.sleep_for(1.5)
+            seen["woke"] = actor.now
+
+        engine.add_actor("w", "alice", worker)
+        engine.run()
+        assert seen == {"name": "w", "host": "alice", "self": True,
+                        "woke": pytest.approx(1.5)}
+
+    def test_mailbox_put_get_roundtrip(self):
+        engine = Engine(pair_platform(bandwidth=1e6, latency=0.5))
+        times = {}
+
+        def sender(actor):
+            yield engine.mailbox("box").put({"k": 1}, size=2e6)
+            times["sent"] = actor.now
+
+        def receiver(actor):
+            payload = yield engine.mailbox("box").get()
+            times["received"] = actor.now
+            times["payload"] = payload
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "bob", receiver)
+        engine.run()
+        # 2 MB at 1 MB/s + 0.5 s latency, rendezvous on both sides
+        assert times["received"] == pytest.approx(2.5)
+        assert times["sent"] == pytest.approx(2.5)
+        assert times["payload"] == {"k": 1}
+
+
+class TestActivityFutures:
+    def test_exec_async_overlaps_with_sleep(self):
+        engine = Engine(pair_platform(speed=1e9))
+        times = {}
+
+        def worker(actor):
+            comp = yield actor.exec_async(2e9)      # 2 s of compute
+            yield this_actor.sleep_for(1.0)         # overlapped
+            times["mid"] = actor.now
+            yield comp.wait()
+            times["done"] = actor.now
+
+        engine.add_actor("w", "alice", worker)
+        engine.run()
+        assert times["mid"] == pytest.approx(1.0)
+        assert times["done"] == pytest.approx(2.0)  # not 3.0: overlapped
+
+    def test_test_polls_before_completion(self):
+        engine = Engine(pair_platform(speed=1e9))
+        polls = []
+
+        def worker(actor):
+            comp = yield actor.exec_async(2e9)
+            early = yield comp.test()
+            polls.append(early)
+            yield this_actor.sleep_for(5.0)
+            late = yield comp.test()
+            polls.append(late)
+            yield comp.wait()
+
+        engine.add_actor("w", "alice", worker)
+        engine.run()
+        assert polls == [False, True]
+
+    def test_comm_async_returns_payload_on_wait(self):
+        engine = Engine(pair_platform())
+        got = {}
+
+        def sender(actor):
+            yield engine.mailbox("box").put("hello", size=1e6)
+
+        def receiver(actor):
+            comm = yield engine.mailbox("box").get_async()
+            got["payload"] = yield comm.wait()
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "bob", receiver)
+        engine.run()
+        assert got["payload"] == "hello"
+
+    def test_put_init_start_then_wait(self):
+        engine = Engine(pair_platform())
+        times = {}
+
+        def sender(actor):
+            comm = engine.mailbox("box").put_init("data", size=1e6)
+            assert comm.is_inited()
+            yield this_actor.sleep_for(2.0)        # defer the start
+            yield comm.start()
+            yield comm.wait()
+            times["sent"] = actor.now
+
+        def receiver(actor):
+            payload = yield engine.mailbox("box").get()
+            times["payload"] = payload
+            times["received"] = actor.now
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "bob", receiver)
+        engine.run()
+        assert times["payload"] == "data"
+        # started at t=2, 1 MB at 1 MB/s
+        assert times["received"] == pytest.approx(3.0)
+        assert times["sent"] == pytest.approx(3.0)
+
+    def test_wait_auto_starts_inited_activity(self):
+        engine = Engine(pair_platform(speed=1e9))
+        times = {}
+
+        def worker(actor):
+            comp = this_actor.exec_init(1e9)
+            yield comp.wait()                      # wait() starts it
+            times["done"] = actor.now
+
+        engine.add_actor("w", "alice", worker)
+        engine.run()
+        assert times["done"] == pytest.approx(1.0)
+
+    def test_sleep_async_is_waitable(self):
+        engine = Engine(pair_platform())
+        times = {}
+
+        def worker(actor):
+            nap = yield actor.sleep_async(3.0)
+            yield actor.execute(1e9)               # 1 s, overlapped
+            times["mid"] = actor.now
+            yield nap.wait()
+            times["done"] = actor.now
+
+        engine.add_actor("w", "alice", worker)
+        engine.run()
+        assert times["mid"] == pytest.approx(1.0)
+        assert times["done"] == pytest.approx(3.0)
+
+    def test_wait_timeout_raises(self):
+        engine = Engine(pair_platform())
+        outcome = {}
+
+        def lonely(actor):
+            comm = yield engine.mailbox("void").get_async()
+            try:
+                yield comm.wait(timeout=2.5)
+            except SimTimeoutError:
+                outcome["timeout_at"] = actor.now
+
+        engine.add_actor("lonely", "alice", lonely)
+        engine.run()
+        assert outcome["timeout_at"] == pytest.approx(2.5)
+
+    def test_cancel_wakes_waiter(self):
+        from repro.exceptions import CancelledError
+        engine = Engine(pair_platform(speed=1e9))
+        outcome = {}
+        handles = {}
+
+        def worker(actor):
+            comp = yield actor.exec_async(1e12)    # 1000 s
+            handles["comp"] = comp
+            try:
+                yield comp.wait()
+            except CancelledError:
+                outcome["cancelled_at"] = actor.now
+
+        def saboteur(actor):
+            yield this_actor.sleep_for(2.0)
+            handles["comp"].cancel()
+
+        engine.add_actor("w", "alice", worker)
+        engine.add_actor("x", "bob", saboteur)
+        engine.run()
+        assert outcome["cancelled_at"] == pytest.approx(2.0)
+
+
+class TestActivitySet:
+    def test_wait_any_reaps_in_completion_order(self):
+        """The acceptance scenario: one Exec overlapping two async Comms,
+        all reaped through ActivitySet.wait_any in completion order."""
+        engine = Engine(pair_platform(speed=1e9, bandwidth=1e6))
+        reaped = []
+
+        def feeder(actor, box, size, delay):
+            yield this_actor.sleep_for(delay)
+            yield engine.mailbox(box).put(box, size=size)
+
+        def worker(actor):
+            comp = yield actor.exec_async(3e9)          # done at t=3
+            fast = yield engine.mailbox("fast").get_async()   # done at t=1
+            slow = yield engine.mailbox("slow").get_async()   # done at t=5
+            pending = ActivitySet([comp, fast, slow])
+            assert pending.size() == 3
+            while not pending.empty():
+                done = yield pending.wait_any()
+                reaped.append((done.kind, actor.now))
+
+        engine.add_actor("worker", "alice", worker)
+        engine.add_actor("f1", "bob", feeder, "fast", 1e6, 0.0)    # 1 s xfer
+        engine.add_actor("f2", "bob", feeder, "slow", 1e6, 4.0)    # ends t=5
+        engine.run()
+        assert [k for k, _ in reaped] == ["comm", "exec", "comm"]
+        assert reaped[0][1] == pytest.approx(1.0)
+        assert reaped[1][1] == pytest.approx(3.0)
+        assert reaped[2][1] == pytest.approx(5.0)
+
+    def test_wait_any_timeout_raises(self):
+        engine = Engine(pair_platform())
+        outcome = {}
+
+        def worker(actor):
+            comm = yield engine.mailbox("void").get_async()
+            pending = ActivitySet([comm])
+            try:
+                yield pending.wait_any(timeout=1.5)
+            except SimTimeoutError:
+                outcome["at"] = actor.now
+                outcome["left"] = pending.size()
+
+        engine.add_actor("w", "alice", worker)
+        engine.run()
+        assert outcome["at"] == pytest.approx(1.5)
+        assert outcome["left"] == 1          # nothing was reaped
+
+    def test_wait_all_blocks_until_every_member_is_done(self):
+        engine = Engine(pair_platform(speed=1e9))
+        times = {}
+
+        def worker(actor):
+            a = yield actor.exec_async(1e9)          # 2 s shared: both at t=2
+            b = yield actor.exec_async(1e9)
+            pending = ActivitySet([a, b])
+            yield pending.wait_all()
+            times["done"] = actor.now
+            times["left"] = pending.size()
+
+        engine.add_actor("w", "alice", worker)
+        engine.run()
+        assert times["done"] == pytest.approx(2.0)
+        assert times["left"] == 0            # the set was emptied
+
+    def test_wait_any_reaps_failed_member_and_set_empties(self):
+        """A member that fails must still leave the set, so the canonical
+        'while not pending.empty(): wait_any()' loop terminates."""
+        from repro.exceptions import HostFailureError
+        engine = Engine(pair_platform(speed=1e9))
+        log = []
+
+        def worker(actor):
+            comp = yield actor.exec_async(1e12, host=engine.host("bob"))
+            pending = ActivitySet([comp])
+            while not pending.empty():
+                try:
+                    done = yield pending.wait_any()
+                    log.append(("done", done.kind))
+                except HostFailureError:
+                    log.append(("failed", actor.now))
+
+        def saboteur(actor):
+            yield this_actor.sleep_for(1.0)
+            engine.host("bob").turn_off()
+
+        engine.add_actor("w", "alice", worker)
+        engine.add_actor("x", "alice", saboteur)
+        engine.run()
+        assert log == [("failed", pytest.approx(1.0))]   # exactly once
+
+    def test_wait_any_timeout_leaves_comm_retryable(self):
+        """A wait_any timeout stops the wait, not the pending async comm:
+        retrying must still receive a message that arrives later."""
+        engine = Engine(pair_platform())
+        got = {}
+
+        def receiver(actor):
+            comm = yield engine.mailbox("box").get_async()
+            pending = ActivitySet([comm])
+            try:
+                yield pending.wait_any(timeout=1.0)
+            except SimTimeoutError:
+                got["timed_out_at"] = actor.now
+            done = yield pending.wait_any()              # retry succeeds
+            got["payload"] = done.get_payload()
+            got["received_at"] = actor.now
+
+        def sender(actor):
+            yield this_actor.sleep_for(2.5)
+            yield engine.mailbox("box").put("late", size=1e6)
+
+        engine.add_actor("r", "alice", receiver)
+        engine.add_actor("s", "bob", sender)
+        engine.run()
+        assert got["timed_out_at"] == pytest.approx(1.0)
+        assert got["payload"] == "late"
+        assert got["received_at"] == pytest.approx(3.5)
+
+    def test_wait_any_auto_starts_inited_members(self):
+        engine = Engine(pair_platform())
+        got = {}
+
+        def receiver(actor):
+            comm = engine.mailbox("box").get_init()
+            assert comm.is_inited()
+            pending = ActivitySet([comm])
+            done = yield pending.wait_any()              # starts it first
+            got["payload"] = done.get_payload()
+
+        def sender(actor):
+            yield engine.mailbox("box").put("hi", size=1e6)
+
+        engine.add_actor("r", "alice", receiver)
+        engine.add_actor("s", "bob", sender)
+        engine.run()
+        assert got["payload"] == "hi"
+        assert not engine.deadlocked
+
+    def test_wait_any_returns_the_pushed_handle_after_merge(self):
+        """A put_init handle merged into an already-pending peer must come
+        back from wait_any by its own identity."""
+        engine = Engine(pair_platform())
+        got = {}
+
+        def receiver(actor):
+            yield engine.mailbox("box").get()
+
+        def sender(actor):
+            yield this_actor.sleep_for(1.0)      # receiver posts first
+            comm = engine.mailbox("box").put_init("x", size=1e3)
+            pending = ActivitySet([comm])
+            done = yield pending.wait_any()      # starts + merges into peer
+            got["same_handle"] = done is comm
+
+        engine.add_actor("r", "alice", receiver)
+        engine.add_actor("s", "bob", sender)
+        engine.run()
+        assert got["same_handle"] is True
+
+    def test_test_any_polls_without_blocking(self):
+        engine = Engine(pair_platform(speed=1e9))
+        seen = {}
+
+        def worker(actor):
+            comp = yield actor.exec_async(2e9)
+            pending = ActivitySet([comp])
+            seen["early"] = pending.test_any()
+            yield this_actor.sleep_for(5.0)
+            seen["late"] = pending.test_any() is comp
+            seen["left"] = pending.size()
+
+        engine.add_actor("w", "alice", worker)
+        engine.run()
+        assert seen["early"] is None
+        assert seen["late"] is True
+        assert seen["left"] == 0
+
+
+class TestLoopbackRegression:
+    def test_same_host_comm_completes_instantly(self):
+        """Regression: an empty-route (same host) transfer used to create a
+        constraint-free network action that never completed, hanging the
+        simulation in a zero-delay engine spin."""
+        engine = Engine(pair_platform())
+        times = {}
+
+        def sender(actor):
+            yield engine.mailbox("box").put("big", size=1e9)
+
+        def receiver(actor):
+            yield engine.mailbox("box").get()
+            times["done"] = actor.now
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "alice", receiver)
+        engine.run()
+        assert times["done"] == pytest.approx(0.0)
+
+    def test_same_host_comm_pays_latency_only(self):
+        platform = Platform("lat")
+        platform.add_host("alice", 1e9)
+        platform.add_host("bob", 1e9)
+        platform.add_link("wire", 1e6, 0.25)
+        platform.connect("alice", "bob", "wire")
+        engine = Engine(platform)
+        times = {}
+
+        def sender(actor):
+            yield engine.mailbox("box").put("x", size=1e9)
+
+        def receiver(actor):
+            yield engine.mailbox("box").get()
+            times["done"] = actor.now
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "alice", receiver)
+        engine.run()
+        # same-host route is empty: no link latency, no bandwidth charge
+        assert times["done"] == pytest.approx(0.0)
+
+
+class TestActorLifecycle:
+    def test_kill_another_actor_s4u_style(self):
+        engine = Engine(pair_platform())
+        log = []
+
+        def victim(actor):
+            try:
+                yield this_actor.sleep_for(100.0)
+                log.append("survived")
+            finally:
+                log.append(("killed-at", actor.now))
+
+        def killer(actor, target):
+            yield this_actor.sleep_for(2.0)
+            yield target.kill()
+
+        target = engine.add_actor("victim", "alice", victim)
+        engine.add_actor("killer", "bob", killer, target)
+        engine.run()
+        assert ("killed-at", pytest.approx(2.0)) in log
+        assert "survived" not in log
+
+    def test_join_waits_for_termination(self):
+        engine = Engine(pair_platform(speed=1e9))
+        times = {}
+
+        def short(actor):
+            yield actor.execute(3e9)
+
+        def joiner(actor, other):
+            yield other.join()
+            times["joined"] = actor.now
+
+        other = engine.add_actor("short", "alice", short)
+        engine.add_actor("joiner", "bob", joiner, other)
+        engine.run()
+        assert times["joined"] == pytest.approx(3.0)
+
+    def test_suspend_resume_across_actors(self):
+        engine = Engine(pair_platform(speed=1e9))
+        times = {}
+
+        def worker(actor):
+            yield actor.execute(1e9)
+            times["done"] = actor.now
+
+        def controller(actor, target):
+            yield this_actor.sleep_for(0.5)
+            yield target.suspend()
+            yield this_actor.sleep_for(2.0)
+            yield target.resume()
+
+        target = engine.add_actor("worker", "alice", worker)
+        engine.add_actor("ctl", "bob", controller, target)
+        engine.run()
+        # 0.5 s of work, 2 s suspended, 0.5 s of work
+        assert times["done"] == pytest.approx(3.0)
+
+    def test_current_actor_outside_simulation_raises(self):
+        with pytest.raises(RuntimeError):
+            s4u.current_actor()
+
+
+class TestMsgInterop:
+    def test_msg_environment_is_an_s4u_engine(self):
+        from repro import Environment
+        env = Environment(make_star(num_hosts=2))
+        assert isinstance(env, Engine)
+
+    def test_msg_task_travels_through_s4u_mailbox(self):
+        """MSG processes and s4u actors share mailboxes and the engine."""
+        from repro import Environment, Task
+        env = Environment(pair_platform())
+        got = {}
+
+        def msg_sender(proc):
+            yield proc.send(Task("t", data_size=1e6, payload=41), "box")
+
+        def s4u_receiver(actor):
+            task = yield env.mailbox("box").get()
+            got["name"] = task.name
+            got["payload"] = task.payload
+            got["sender"] = task.sender.name
+
+        env.create_process("s", "alice", msg_sender)
+        env.add_actor("r", "bob", s4u_receiver)
+        env.run()
+        assert got == {"name": "t", "payload": 41, "sender": "s"}
