@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Benchmark runner: execute the bench_* scenarios, write machine-readable JSON.
+
+Unlike the pytest harnesses in this directory (which print paper-artefact
+tables and assert on simulated results), this runner is about the *perf
+trajectory* of the simulator itself across PRs.  It imports the scenario
+functions directly — no pytest, no plugins — times them, and writes a JSON
+report (``BENCH_PR2.json`` by default) with, per scenario and size:
+
+* ``wall_clock_s`` — how long the simulation took for real;
+* ``events_per_s`` — simulated activity completions per wall-clock second,
+  when the scenario can count them;
+* ``peak_actors`` — how many simulated actors were alive at peak;
+* scenario-specific metrics (simulated time, LMM solver counters...).
+
+Usage::
+
+    PYTHONPATH=../src python run_benchmarks.py              # full sweep
+    PYTHONPATH=../src python run_benchmarks.py --smoke      # CI smoke sizes
+    PYTHONPATH=../src python run_benchmarks.py --only s4u_scale
+    PYTHONPATH=../src python run_benchmarks.py --output /tmp/bench.json
+
+See README.md in this directory for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+for _path in (os.path.join(ROOT, "src"), HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+
+# ----------------------------------------------------------------------------------
+# scenario wrappers: callable(size) -> metrics dict (wall clock is measured
+# by the runner; wrappers report simulated results and event counts)
+# ----------------------------------------------------------------------------------
+
+def _scalability_processes(size):
+    from bench_scalability_processes import (TASKS_PER_WORKER, master_worker)
+    simulated = master_worker(size)
+    # Per worker: TASKS_PER_WORKER execs + (TASKS_PER_WORKER + 1) messages.
+    return {
+        "simulated_time_s": simulated,
+        "peak_actors": size + 1,
+        "events": size * (2 * TASKS_PER_WORKER + 1),
+    }
+
+
+def _s4u_scale(size):
+    from bench_s4u_scale import run_fleet
+    result = run_fleet(num_workers=size)
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "events": result["activities"],
+        "lmm": result["lmm"],
+    }
+
+
+def _maxmin_random_solve(size):
+    from bench_maxmin_sharing import large_random_solve
+    system = large_random_solve(num_constraints=max(4, size // 4),
+                                num_variables=size)
+    return {
+        "events": size,
+        "lmm": {
+            "constraints_solved": system.constraints_solved,
+            "variables_solved": system.variables_solved,
+        },
+    }
+
+
+def _smpi_matmul(size):
+    from bench_smpi_matmul import homogeneous_platform, simulate
+    simulated = simulate(homogeneous_platform, size)
+    return {"simulated_time_s": simulated, "peak_actors": size}
+
+
+def _gantt_clientserver(size):
+    from bench_gantt_clientserver import (NUM_CLIENTS, NUM_SERVERS,
+                                          REQUESTS_PER_CLIENT, simulate)
+    makespan, _recorder = simulate()
+    return {
+        "simulated_time_s": makespan,
+        "peak_actors": NUM_CLIENTS + NUM_SERVERS,
+        "events": NUM_CLIENTS * REQUESTS_PER_CLIENT * 3,  # req + exec + ack
+    }
+
+
+def _traces_failures(size):
+    from bench_traces_failures import simulate
+    outcome = simulate(with_traces=True)
+    return {"simulated_time_s": max(
+        v for v in outcome.values() if isinstance(v, (int, float)))}
+
+
+def _fluid_flows(size):
+    from bench_speed_fluid_vs_packet import NUM_FLOWS, run_fluid
+    simulated = run_fluid()
+    return {"simulated_time_s": simulated, "events": NUM_FLOWS}
+
+
+#: name -> (wrapper, full sizes, smoke sizes).  ``None`` sizes mean the
+#: scenario has one fixed configuration.
+SCENARIOS = {
+    "scalability_processes": (_scalability_processes, (16, 64, 256, 512),
+                              (16,)),
+    "s4u_scale": (_s4u_scale, (1000, 2000, 4000), (200,)),
+    "maxmin_random_solve": (_maxmin_random_solve, (800, 3200), (200,)),
+    "smpi_matmul": (_smpi_matmul, (2, 4, 8), (2,)),
+    "gantt_clientserver": (_gantt_clientserver, (None,), (None,)),
+    "traces_failures": (_traces_failures, (None,), (None,)),
+    "fluid_flows": (_fluid_flows, (None,), (None,)),
+}
+
+
+def run_scenario(name, wrapper, size):
+    start = time.perf_counter()
+    metrics = wrapper(size)
+    wall = time.perf_counter() - start
+    entry = {"scenario": name, "size": size, "wall_clock_s": round(wall, 4)}
+    events = metrics.pop("events", None)
+    if events is not None:
+        entry["events"] = events
+        entry["events_per_s"] = round(events / wall, 1) if wall > 0 else None
+    entry.update(metrics)
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Run the simulator benchmarks and write a JSON report.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smallest sizes only (CI regression smoke)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME", choices=sorted(SCENARIOS),
+                        help="run only the given scenario (repeatable)")
+    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR2.json"),
+                        help="path of the JSON report (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    names = args.only or sorted(SCENARIOS)
+    results = []
+    for name in names:
+        wrapper, full_sizes, smoke_sizes = SCENARIOS[name]
+        for size in (smoke_sizes if args.smoke else full_sizes):
+            label = f"{name}" + (f" size={size}" if size is not None else "")
+            print(f"running {label} ...", flush=True)
+            entry = run_scenario(name, wrapper, size)
+            print(f"  -> wall={entry['wall_clock_s']:.3f}s "
+                  + (f"events/s={entry.get('events_per_s')}"
+                     if "events_per_s" in entry else ""), flush=True)
+            results.append(entry)
+
+    report = {
+        "schema": "repro-bench/1",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+    # A checked-in report carries the before/after record of the PR that
+    # produced it (see README.md); refreshing the numbers must not drop it.
+    if os.path.exists(args.output):
+        try:
+            with open(args.output, "r", encoding="utf-8") as fh:
+                previous = json.load(fh)
+            for key in ("baseline", "headline"):
+                if key in previous:
+                    report[key] = previous[key]
+        except (OSError, ValueError):
+            pass
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,7 @@ setup(
     package_dir={"": "src"},
     python_requires=">=3.9",
     install_requires=[],  # standard library only, by design
-    extras_require={"test": ["pytest"]},
+    extras_require={"test": ["pytest", "hypothesis"]},
     classifiers=[
         "Development Status :: 4 - Beta",
         "Intended Audience :: Science/Research",

@@ -95,6 +95,10 @@ class Engine:
         self.timers = TimerQueue()
         self._ready: Deque[Tuple[Actor, object, Optional[BaseException]]] = deque()
         self._alive_nondaemon = 0
+        # Alive actors as an insertion-ordered set (a dict): daemon reaping
+        # and deadlock handling iterate it instead of scanning the full
+        # historical ``actors`` list, and ``actor_count`` is O(1).
+        self._alive_actors: Dict[Actor, None] = {}
         self._active_comms: set = set()
         self._deadlocked = False
 
@@ -154,6 +158,7 @@ class Engine:
         actor.context.start()
         actor.state = ActorState.RUNNABLE
         self.actors.append(actor)
+        self._alive_actors[actor] = None
         host_obj.actors.append(actor)
         if not daemon:
             self._alive_nondaemon += 1
@@ -162,7 +167,7 @@ class Engine:
 
     def actor_count(self) -> int:
         """Number of actors still alive."""
-        return sum(1 for a in self.actors if a.is_alive)
+        return len(self._alive_actors)
 
     def kill_actor(self, actor: Actor) -> None:
         """Kill an actor from outside the simulation (tests, controllers)."""
@@ -269,12 +274,12 @@ class Engine:
         return False
 
     def _kill_remaining_daemons(self) -> None:
-        for actor in list(self.actors):
-            if actor.is_alive and actor.daemon:
+        for actor in list(self._alive_actors):
+            if actor.daemon:
                 self._kill_actor(actor)
 
     def _handle_deadlock(self) -> None:
-        survivors = [a for a in self.actors if a.is_alive]
+        survivors = list(self._alive_actors)
         if not survivors:
             return
         self._deadlocked = True
@@ -927,6 +932,7 @@ class Engine:
         if actor.state == ActorState.DEAD:
             return
         actor.state = ActorState.DEAD
+        self._alive_actors.pop(actor, None)
         try:
             actor.host.actors.remove(actor)
         except ValueError:

@@ -13,11 +13,25 @@ The state machine matches SimGrid's::
 
 Suspension is not a separate state: a suspended action stays RUNNING with a
 sharing weight of zero, so it simply receives no capacity until resumed.
+
+Lazy progress accounting
+------------------------
+
+The models no longer advance every action at every engine step.  Instead an
+action records the date its remaining amount was last synchronised
+(``last_sync``) and the rate in force since then (``last_rate``); its
+predicted completion date sits in the owning model's event heap.  The
+stored amount is only re-synchronised when the rate actually changes (the
+LMM solver reports exactly those variables) or when the action terminates.
+Reading :attr:`remaining` extrapolates from the stored amount at the
+model's current clock, so external observers always see up-to-date
+progress without any per-step work.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from typing import Optional
 
 from repro.surf.lmm import Variable
@@ -56,15 +70,21 @@ class Action:
             raise ValueError("action priority must be >= 0")
         self.model = model
         self.cost = float(cost)
-        self.remaining = float(cost)
         self.priority = float(priority)
         self.state = ActionState.RUNNING
         self.variable: Optional[Variable] = None
-        self.start_time: float = 0.0
+        self.start_time: float = getattr(model, "clock", 0.0) if model else 0.0
         self.finish_time: Optional[float] = None
         self.data = None          # opaque back-pointer (activity, simcall...)
         self._suspended = False
         self.bound: Optional[float] = None
+        # -- lazy progress bookkeeping
+        self._remaining = float(cost)
+        self.last_sync: float = self.start_time
+        self.last_rate: float = 0.0
+        # Bumped whenever the action's scheduled model event becomes stale;
+        # the model's heap entries carry the version they were pushed with.
+        self._event_version = 0
 
     # -- rate -------------------------------------------------------------------
     @property
@@ -79,6 +99,46 @@ class Action:
         """Whether the action is currently suspended (rate forced to 0)."""
         return self._suspended
 
+    # -- lazy remaining ----------------------------------------------------------
+    @property
+    def remaining(self) -> float:
+        """Remaining work, extrapolated to the model's current clock."""
+        rem = self._remaining
+        if (self.is_running() and self.last_rate > 0.0
+                and self.model is not None):
+            if math.isinf(self.last_rate):
+                return 0.0
+            elapsed = getattr(self.model, "clock", self.last_sync) - self.last_sync
+            if elapsed > 0:
+                rem = max(0.0, rem - self.last_rate * elapsed)
+        return rem
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        self._remaining = float(value)
+        self.last_sync = getattr(self.model, "clock", 0.0) if self.model else 0.0
+        # The completion heap is the only thing that finishes actions now,
+        # so an external write to the remaining amount must displace the
+        # previously predicted completion date.
+        if self.model is not None and self.is_running():
+            self.model._reschedule_action(self, self.last_sync)
+
+    def sync_remaining(self, now: float) -> float:
+        """Fold the progress made since ``last_sync`` into the stored amount.
+
+        Must be called (by the owning model) whenever the action's rate is
+        about to change, so the interval [last_sync, now] is accounted at
+        the rate that was actually in force.  Returns the updated amount.
+        """
+        if self.is_running():
+            if math.isinf(self.last_rate):
+                self._remaining = 0.0
+            elif self.last_rate > 0.0 and now > self.last_sync:
+                self._remaining = max(
+                    0.0, self._remaining - self.last_rate * (now - self.last_sync))
+        self.last_sync = now
+        return self._remaining
+
     # -- state transitions --------------------------------------------------------
     def is_running(self) -> bool:
         return self.state is ActionState.RUNNING
@@ -87,6 +147,7 @@ class Action:
         """Terminate the action in ``state`` at date ``now``."""
         if not self.is_running():
             return
+        self.sync_remaining(now)
         self.state = state
         self.finish_time = now
         if self.model is not None:
@@ -137,30 +198,19 @@ class Action:
         """Weight to hand to the LMM system (0 when suspended)."""
         return 0.0 if self._suspended else self.priority
 
-    def update_remaining(self, delta_time: float) -> None:
-        """Consume ``rate * delta_time`` of the remaining work."""
-        if delta_time < 0:
-            raise ValueError("delta_time must be >= 0")
-        if not self.is_running():
-            return
-        rate = self.rate
-        if rate <= 0:
-            return
-        self.remaining = max(0.0, self.remaining - rate * delta_time)
-
     def time_to_completion(self) -> float:
         """Time needed to finish at the current rate (inf if stalled)."""
-        import math
         if not self.is_running():
             return 0.0
-        if self.remaining <= 0:
+        remaining = self.remaining
+        if remaining <= 0:
             return 0.0
         rate = self.rate
-        if rate <= 0 or rate == float("inf") and self.remaining == 0:
-            return math.inf if rate <= 0 else 0.0
-        if rate == float("inf"):
+        if rate <= 0:
+            return math.inf
+        if math.isinf(rate):
             return 0.0
-        return self.remaining / rate
+        return remaining / rate
 
     def progress(self) -> float:
         """Fraction of the work already performed, in ``[0, 1]``."""

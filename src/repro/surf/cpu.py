@@ -8,21 +8,23 @@ as one instance of the MaxMin sharing model.  This module provides:
 * :class:`CpuAction` — one computation of a given amount of flops;
 * :class:`CpuModel` — the model object that owns the LMM system, creates
   executions and advances their state.
+
+The model is event-driven (see :class:`~repro.surf.model.FluidModel`):
+completion dates live in a heap and are recomputed only for the actions
+whose LMM share changed.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
-from repro.surf.action import Action, ActionState
+from repro.surf.action import Action
 from repro.surf.lmm import MaxMinSystem
+from repro.surf.model import FluidModel
 from repro.surf.resource import Resource
 from repro.surf.trace import Trace
 
 __all__ = ["CpuModel", "CpuResource", "CpuAction"]
-
-_COMPLETION_EPSILON = 1e-6
 
 
 class CpuResource(Resource):
@@ -63,13 +65,12 @@ class CpuAction(Action):
         self.cpu = cpu
 
 
-class CpuModel:
+class CpuModel(FluidModel):
     """Fluid model of computations sharing CPUs via MaxMin fairness."""
 
     def __init__(self) -> None:
-        self.system = MaxMinSystem()
+        super().__init__()
         self.cpus: Dict[str, CpuResource] = {}
-        self.running: Set[CpuAction] = set()
 
     # -- platform construction -----------------------------------------------------
     def add_cpu(self, name: str, speed: float, cores: int = 1,
@@ -112,75 +113,6 @@ class CpuModel:
             # Executing on a dead host fails immediately at the next step.
             action.fail(action.start_time)
         return action
-
-    def sleep(self, cpu: CpuResource, duration: float) -> CpuAction:
-        """A zero-flop action used by the engine for process sleeps.
-
-        It is modelled as an execution of 0 flops with a dedicated duration
-        handled by the engine's timer queue, so this simply returns a
-        completed action; provided for API symmetry and tests.
-        """
-        action = CpuAction(self, cpu, 0.0, priority=0.0)
-        action.finish(0.0, ActionState.DONE)
-        return action
-
-    # -- model callbacks ------------------------------------------------------------
-    def on_action_finished(self, action: Action) -> None:
-        """Model hook: drop the LMM variable of a terminated action."""
-        if action.variable is not None:
-            self.system.remove_variable(action.variable)
-            action.variable = None
-        self.running.discard(action)  # type: ignore[arg-type]
-
-    def on_action_priority_changed(self, action: Action) -> None:
-        """Model hook: push new weight/bound to the LMM system."""
-        if action.variable is None:
-            return
-        self.system.update_variable_weight(action.variable,
-                                           action.effective_weight())
-        self.system.update_variable_bound(action.variable, action.bound)
-
-    # -- simulation steps -------------------------------------------------------------
-    def share_resources(self, now: float) -> float:
-        """Solve the LMM system; return the delay until the next completion."""
-        for action in self.running:
-            if action.variable is not None:
-                self.system.update_variable_weight(action.variable,
-                                                   action.effective_weight())
-                self.system.update_variable_bound(action.variable,
-                                                  action.bound)
-        self.system.solve()
-        min_delta = math.inf
-        for action in self.running:
-            if not action.is_running():
-                continue
-            delta = action.time_to_completion()
-            if delta < min_delta:
-                min_delta = delta
-        return min_delta
-
-    def update_actions_state(self, now: float, delta: float) -> List[CpuAction]:
-        """Advance every running action by ``delta``; return completions."""
-        finished: List[CpuAction] = []
-        for action in list(self.running):
-            if not action.is_running():
-                continue
-            action.update_remaining(delta)
-            if action.remaining <= _COMPLETION_EPSILON:
-                action.remaining = 0.0
-                action.finish(now, ActionState.DONE)
-                finished.append(action)
-        return finished
-
-    # -- failures -------------------------------------------------------------------
-    def fail_actions_on(self, cpu: CpuResource, now: float) -> List[CpuAction]:
-        """Fail every running action executing on ``cpu`` (host failure)."""
-        failed: List[CpuAction] = []
-        for action in list(self.running):
-            if action.cpu is cpu and action.is_running():
-                action.fail(now)
-                failed.append(action)
-        return failed
 
     def resource_of(self, name: str) -> CpuResource:
         """Lookup a CPU by name (raises ``KeyError`` if unknown)."""

@@ -88,6 +88,9 @@ class SurfEngine:
                                      float, TraceIterator]] = []
         self._seq = itertools.count()
         self._zero_progress_steps = 0
+        #: Actions completed/failed during the last :meth:`run_until_idle`.
+        self.last_completed: List[Action] = []
+        self.last_failed: List[Action] = []
 
     # -- resource registration -------------------------------------------------------
     def register_resource_traces(self, resource: Resource) -> None:
@@ -252,12 +255,19 @@ class SurfEngine:
     def run_until_idle(self, max_time: float = math.inf) -> float:
         """Convenience loop for model-level tests: run until nothing remains.
 
-        Returns the final simulated date.
+        Returns the final simulated date.  The actions that completed or
+        failed along the way — including those of the final step — are
+        exposed as :attr:`last_completed` and :attr:`last_failed` so
+        model-level benchmarks and tests can assert on them.
         """
+        self.last_completed: List[Action] = []
+        self.last_failed: List[Action] = []
         while True:
             result = self.step(until=max_time)
             if result is None:
                 break
+            self.last_completed.extend(result.completed)
+            self.last_failed.extend(result.failed)
             if result.time >= max_time:
                 break
             if (not self.has_running_actions()

@@ -31,13 +31,32 @@ algorithm: repeatedly find the bottleneck — the constraint or bound that
 limits the common normalised rate the most — freeze the variables it
 saturates at that level, subtract their consumption from every other
 constraint, and continue with the rest.
+
+Selective ("lazy") updates
+--------------------------
+
+The engine re-solves the system after every simulated event, but a single
+event (an action completing, a capacity trace firing, a priority change)
+only perturbs the resources it touches.  The system therefore tracks the
+set of *modified constraints*; :meth:`MaxMinSystem.solve`
+
+* returns immediately when nothing was modified since the last solve;
+* otherwise re-runs progressive filling only on the connected component(s)
+  of the constraint/variable graph reachable from the modified constraints
+  (zero-weight variables do not propagate contention, so they do not merge
+  components);
+* returns the list of variables whose value actually changed, so the
+  models can recompute completion dates for those actions alone.
+
+Variables of untouched components keep their previous values, which is
+exactly what a full solve would assign them: in max-min progressive
+filling, disjoint components never interact.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 __all__ = ["MaxMinSystem", "Variable", "Constraint", "Element"]
 
@@ -45,13 +64,23 @@ __all__ = ["MaxMinSystem", "Variable", "Constraint", "Element"]
 EPSILON = 1e-9
 
 
-@dataclass
 class Element:
     """One (variable, constraint) incidence with its usage coefficient."""
 
-    variable: "Variable"
-    constraint: "Constraint"
-    usage: float
+    __slots__ = ("variable", "constraint", "usage", "_cpos")
+
+    def __init__(self, variable: "Variable", constraint: "Constraint",
+                 usage: float) -> None:
+        self.variable = variable
+        self.constraint = constraint
+        self.usage = usage
+        # Index of this element inside ``constraint.elements`` so removal is
+        # a swap-pop instead of a linear scan.
+        self._cpos = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Element(var={self.variable.id}, cns={self.constraint.id}, "
+                f"usage={self.usage})")
 
 
 class Variable:
@@ -142,6 +171,19 @@ class Constraint:
             return 0.0
         return max(e.usage * e.variable.value for e in self.elements)
 
+    # -- element bookkeeping (O(1) attach/detach) ------------------------------
+    def _attach(self, elem: Element) -> None:
+        elem._cpos = len(self.elements)
+        self.elements.append(elem)
+
+    def _detach(self, elem: Element) -> None:
+        pos = elem._cpos
+        last = self.elements[-1]
+        self.elements[pos] = last
+        last._cpos = pos
+        self.elements.pop()
+        elem._cpos = -1
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Constraint(id={self.id}, capacity={self.capacity}, "
                 f"shared={self.shared}, nvars={len(self.elements)})")
@@ -163,11 +205,30 @@ class MaxMinSystem:
     """
 
     def __init__(self) -> None:
-        self.variables: List[Variable] = []
+        self._vars: Dict[int, Variable] = {}
         self.constraints: List[Constraint] = []
         self._next_var_id = 0
         self._next_cns_id = 0
-        self._dirty = True
+        # Constraints whose incidence, capacity or crossing-variable
+        # weights/bounds changed since the last solve.
+        self._modified: Set[Constraint] = set()
+        # Variables with no element whose value needs a (re)computation.
+        self._detached_dirty: Set[Variable] = set()
+        # Observability counters (read by benchmarks and tests).
+        self.solve_calls = 0          # solve() invocations, incl. skipped
+        self.solve_skipped = 0        # clean early-returns
+        self.constraints_solved = 0   # constraints visited by sub-solves
+        self.variables_solved = 0     # variables re-assigned by sub-solves
+
+    @property
+    def variables(self) -> List[Variable]:
+        """Live variables, in creation order."""
+        return list(self._vars.values())
+
+    @property
+    def _dirty(self) -> bool:
+        """True when the next solve() has work to do (kept for introspection)."""
+        return bool(self._modified or self._detached_dirty)
 
     # -- construction -----------------------------------------------------------
     def new_variable(self, weight: float = 1.0,
@@ -175,8 +236,8 @@ class MaxMinSystem:
         """Create and register a new variable."""
         var = Variable(self._next_var_id, weight, bound, data)
         self._next_var_id += 1
-        self.variables.append(var)
-        self._dirty = True
+        self._vars[var.id] = var
+        self._detached_dirty.add(var)
         return var
 
     def new_constraint(self, capacity: float, shared: bool = True,
@@ -185,7 +246,6 @@ class MaxMinSystem:
         cns = Constraint(self._next_cns_id, capacity, shared, data)
         self._next_cns_id += 1
         self.constraints.append(cns)
-        self._dirty = True
         return cns
 
     def expand(self, constraint: Constraint, variable: Variable,
@@ -200,57 +260,69 @@ class MaxMinSystem:
             raise ValueError("usage must be >= 0")
         if usage == 0:
             return
+        self._detached_dirty.discard(variable)
         for elem in variable.elements:
             if elem.constraint is constraint:
                 elem.usage += usage
-                self._dirty = True
+                self._modified.add(constraint)
                 return
         elem = Element(variable, constraint, usage)
         variable.elements.append(elem)
-        constraint.elements.append(elem)
-        self._dirty = True
+        constraint._attach(elem)
+        self._modified.add(constraint)
 
     # -- mutation ----------------------------------------------------------------
     def remove_variable(self, variable: Variable) -> None:
         """Remove a variable (the activity completed or was cancelled)."""
         for elem in variable.elements:
-            try:
-                elem.constraint.elements.remove(elem)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+            if elem._cpos >= 0:
+                elem.constraint._detach(elem)
+            self._modified.add(elem.constraint)
         variable.elements.clear()
-        try:
-            self.variables.remove(variable)
-        except ValueError:  # pragma: no cover - defensive
-            pass
-        self._dirty = True
+        self._vars.pop(variable.id, None)
+        self._detached_dirty.discard(variable)
 
     def update_variable_weight(self, variable: Variable, weight: float) -> None:
         """Change the sharing weight (0 suspends the activity)."""
         if weight < 0:
             raise ValueError("variable weight must be >= 0")
-        variable.weight = float(weight)
-        self._dirty = True
+        weight = float(weight)
+        if weight == variable.weight:
+            return
+        variable.weight = weight
+        self._mark_variable(variable)
 
     def update_variable_bound(self, variable: Variable,
                               bound: Optional[float]) -> None:
         """Change the rate bound of a variable."""
         if bound is not None and bound < 0:
             raise ValueError("variable bound must be >= 0 or None")
-        variable.bound = None if bound is None else float(bound)
-        self._dirty = True
+        bound = None if bound is None else float(bound)
+        if bound == variable.bound:
+            return
+        variable.bound = bound
+        self._mark_variable(variable)
 
     def update_constraint_capacity(self, constraint: Constraint,
                                    capacity: float) -> None:
         """Change a resource capacity (availability trace event, failure)."""
         if capacity < 0:
             raise ValueError("constraint capacity must be >= 0")
-        constraint.capacity = float(capacity)
-        self._dirty = True
+        capacity = float(capacity)
+        if capacity == constraint.capacity:
+            return
+        constraint.capacity = capacity
+        self._modified.add(constraint)
+
+    def _mark_variable(self, variable: Variable) -> None:
+        if variable.elements:
+            self._modified.update(e.constraint for e in variable.elements)
+        elif variable.id in self._vars:
+            self._detached_dirty.add(variable)
 
     # -- solving -----------------------------------------------------------------
-    def solve(self) -> None:
-        """Assign a max-min fair value to every variable.
+    def solve(self) -> List[Variable]:
+        """Assign a max-min fair value to every variable touched by changes.
 
         The algorithm is progressive filling on the *normalised* rates
         ``x_i / w_i``.  At every round we compute, for every unsaturated
@@ -258,9 +330,96 @@ class MaxMinSystem:
         still-active variables grew proportionally to their weights, take
         the minimum over constraints and over individual variable bounds,
         freeze the limiting variables at that level and loop.
+
+        Only the connected components reachable from modified constraints
+        are re-solved; a clean system returns immediately.  Returns the
+        variables whose value changed (the callers use it to recompute
+        action completion dates selectively).
         """
+        self.solve_calls += 1
+        if not self._modified and not self._detached_dirty:
+            self.solve_skipped += 1
+            return []
+
+        changed: List[Variable] = []
+
+        # Variables crossing no constraint are limited only by their bound.
+        # Creation order keeps the changed-variables report — and therefore
+        # the completion-event tie-breaking downstream — deterministic.
+        if self._detached_dirty:
+            for var in sorted(self._detached_dirty, key=lambda v: v.id):
+                if var.elements:
+                    continue  # got expanded meanwhile; handled below
+                if var.weight <= EPSILON:
+                    value = 0.0
+                else:
+                    value = var.bound if var.bound is not None else math.inf
+                if value != var.value:
+                    var.value = value
+                    changed.append(var)
+            self._detached_dirty.clear()
+
+        if self._modified:
+            # Several events can land between two solves (a burst of new
+            # actions, a batch of completions).  Their constraints often
+            # belong to *independent* components; solving each component
+            # separately keeps progressive filling linear in the component
+            # size instead of quadratic in the batch size.
+            seeds = sorted(self._modified, key=lambda c: c.id)
+            self._modified.clear()
+            cns_seen: Set[Constraint] = set()
+            var_seen: Set[Variable] = set()
+            for seed in seeds:
+                if seed in cns_seen:
+                    continue
+                cnss, variables = self._component(seed, cns_seen, var_seen)
+                # Creation order keeps the selective solve's tie-breaking
+                # identical to a from-scratch solve of the same component.
+                cnss.sort(key=lambda c: c.id)
+                variables.sort(key=lambda v: v.id)
+                self._solve_subsystem(cnss, variables, changed)
+        return changed
+
+    def _component(self, seed: Constraint, cns_seen: Set[Constraint],
+                   var_seen: Set[Variable]):
+        """Constraints/variables of the component containing ``seed``.
+
+        ``cns_seen``/``var_seen`` are shared across the components of one
+        solve so overlapping traversals are not repeated.  Zero-weight
+        variables belong to the component (their value must be reset to 0)
+        but do not propagate it: they consume nothing, so the constraints
+        on their far side are unaffected.
+        """
+        cns_seen.add(seed)
+        cnss: List[Constraint] = [seed]
+        stack: List[Constraint] = [seed]
+        variables: List[Variable] = []
+        while stack:
+            cns = stack.pop()
+            for elem in cns.elements:
+                var = elem.variable
+                if var in var_seen:
+                    continue
+                var_seen.add(var)
+                variables.append(var)
+                if var.weight > EPSILON:
+                    for other in var.elements:
+                        if other.constraint not in cns_seen:
+                            cns_seen.add(other.constraint)
+                            cnss.append(other.constraint)
+                            stack.append(other.constraint)
+        return cnss, variables
+
+    def _solve_subsystem(self, cnss: List[Constraint],
+                         variables: List[Variable],
+                         changed: List[Variable]) -> None:
+        """Progressive filling restricted to one (or more) components."""
+        self.constraints_solved += len(cnss)
+        self.variables_solved += len(variables)
+        old_values = [var.value for var in variables]
+
         active: List[Variable] = []
-        for var in self.variables:
+        for var in variables:
             if var.weight <= EPSILON or not var.elements:
                 # Suspended variables get no capacity.  Variables crossing
                 # no constraint are only limited by their bound.
@@ -272,9 +431,7 @@ class MaxMinSystem:
                 var.value = 0.0
                 active.append(var)
 
-        remaining: Dict[int, float] = {
-            c.id: c.capacity for c in self.constraints
-        }
+        remaining: Dict[int, float] = {c.id: c.capacity for c in cnss}
         unassigned = set(id(v) for v in active)
 
         # Guard: at most one round per variable (each round freezes >= 1 var).
@@ -285,7 +442,7 @@ class MaxMinSystem:
             # 1. candidate level from each constraint
             best_level = math.inf
             best_constraint: Optional[Constraint] = None
-            for cns in self.constraints:
+            for cns in cnss:
                 level = self._constraint_level(cns, remaining[cns.id],
                                                unassigned)
                 if level is not None and level < best_level - EPSILON:
@@ -334,7 +491,9 @@ class MaxMinSystem:
                             remaining[elem.constraint.id] - elem.usage * value,
                         )
 
-        self._dirty = False
+        for var, old in zip(variables, old_values):
+            if var.value != old:
+                changed.append(var)
 
     def _constraint_level(self, cns: Constraint, remaining: float,
                           unassigned) -> Optional[float]:
@@ -364,6 +523,17 @@ class MaxMinSystem:
         return best
 
     # -- validation helpers -------------------------------------------------------
+    def solve_all(self) -> None:
+        """Force a from-scratch re-solve of the whole system.
+
+        Used by tests to compare the selective path against the reference
+        progressive-filling result.
+        """
+        self._modified.update(c for c in self.constraints if c.elements)
+        self._detached_dirty.update(v for v in self._vars.values()
+                                    if not v.elements)
+        self.solve()
+
     def check_feasible(self, tol: float = 1e-6) -> bool:
         """Return True when the solved values violate no constraint.
 
@@ -373,7 +543,7 @@ class MaxMinSystem:
             usage = cns.usage_total()
             if usage > cns.capacity * (1.0 + tol) + tol:
                 return False
-        for var in self.variables:
+        for var in self._vars.values():
             if var.bound is not None and var.value > var.bound * (1 + tol) + tol:
                 return False
             if var.value < -tol:
@@ -381,5 +551,5 @@ class MaxMinSystem:
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"MaxMinSystem(nvars={len(self.variables)}, "
+        return (f"MaxMinSystem(nvars={len(self._vars)}, "
                 f"ncons={len(self.constraints)})")

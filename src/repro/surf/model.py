@@ -1,0 +1,181 @@
+"""Shared event-driven machinery of the SURF fluid models.
+
+Historically every engine step asked each model to re-push every running
+action's weight/bound into the LMM system, re-solve it from scratch and
+linearly scan all actions twice (once for the next completion date, once to
+advance progress).  That made each step O(actions) even when nothing
+changed — O(n²) for a whole simulation, and worse once the solver cost is
+counted.
+
+:class:`FluidModel` replaces those scans with an event heap:
+
+* every running action has at most one *live* entry in the heap — its
+  predicted completion date (or, for transfers, the end of its latency
+  phase).  Entries are invalidated lazily by bumping the action's event
+  version; stale entries are dropped when they surface;
+* :meth:`share_resources` runs the (selective) LMM solve and recomputes the
+  completion date *only* for the actions whose solved rate actually
+  changed;
+* :meth:`update_actions_state` pops the events due at the new date instead
+  of scanning every running action.
+
+The only write path from actions into the LMM system is
+:meth:`on_action_priority_changed`; models and upper layers must never poke
+the system directly, otherwise the dirtiness tracking (and therefore the
+completion heap) would miss the change.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import List, Set, Tuple
+
+from repro.surf.action import Action, ActionState
+from repro.surf.lmm import MaxMinSystem
+
+__all__ = ["FluidModel"]
+
+#: Amount slack under which an action is considered finished.
+COMPLETION_EPSILON = 1e-6
+#: Date slack when popping due events (mirrors the engine's epsilon).
+TIME_EPSILON = 1e-9
+
+
+class FluidModel:
+    """Base class for the CPU and network fluid models."""
+
+    def __init__(self) -> None:
+        self.system = MaxMinSystem()
+        self.running: Set[Action] = set()
+        #: Current simulated date, pushed down by the SURF engine at every
+        #: share/update call; actions created in between are stamped with it.
+        self.clock = 0.0
+        # heap of (date, sequence, version, action) — version mismatches
+        # mark entries that were superseded by a reschedule.
+        self._heap: List[Tuple[float, int, int, Action]] = []
+        self._seq = itertools.count()
+
+    # -- event heap -------------------------------------------------------------
+    def _schedule_event(self, action: Action, date: float) -> None:
+        """(Re)schedule the single live event of ``action`` at ``date``."""
+        action._event_version += 1
+        heapq.heappush(self._heap,
+                       (date, next(self._seq), action._event_version, action))
+
+    def _unschedule_event(self, action: Action) -> None:
+        """Invalidate the live event of ``action`` (lazy heap removal)."""
+        action._event_version += 1
+
+    def next_event_date(self) -> float:
+        """Date of the earliest live event (inf when none is scheduled)."""
+        heap = self._heap
+        while heap:
+            date, _, version, action = heap[0]
+            if version != action._event_version or not action.is_running():
+                heapq.heappop(heap)
+                continue
+            return date
+        return math.inf
+
+    # -- LMM write paths ---------------------------------------------------------
+    def on_action_priority_changed(self, action: Action) -> None:
+        """Model hook: push new weight/bound to the LMM system.
+
+        This is the *only* path by which an action's weight or bound reaches
+        the solver; the solver's dirtiness tracking hinges on it.
+        """
+        if action.variable is None:
+            return
+        self.system.update_variable_weight(action.variable,
+                                           action.effective_weight())
+        self.system.update_variable_bound(action.variable, action.bound)
+
+    def on_action_finished(self, action: Action) -> None:
+        """Model hook: drop the LMM variable of a terminated action."""
+        if action.variable is not None:
+            self.system.remove_variable(action.variable)
+            action.variable = None
+        self._unschedule_event(action)
+        self.running.discard(action)
+
+    # -- simulation steps --------------------------------------------------------
+    def share_resources(self, now: float) -> float:
+        """Re-solve what changed; return the delay until the next event."""
+        self.clock = now
+        for var in self.system.solve():
+            action = var.data
+            if action is None or not action.is_running():
+                continue
+            # The interval since the last sync ran at the previous rate;
+            # account it before adopting the new one.
+            action.sync_remaining(now)
+            action.last_rate = action.rate
+            self._reschedule_action(action, now)
+        next_date = self.next_event_date()
+        if math.isinf(next_date):
+            return math.inf
+        return max(0.0, next_date - now)
+
+    def _reschedule_action(self, action: Action, now: float) -> None:
+        """Recompute and (re)schedule the next event of ``action``.
+
+        The base implementation handles plain completions; the network
+        model overrides it to keep latency-phase events in place.
+        """
+        rate = action.last_rate
+        if rate <= 0.0:
+            self._unschedule_event(action)
+            return
+        if math.isinf(rate) or action._remaining <= COMPLETION_EPSILON:
+            self._schedule_event(action, now)
+            return
+        self._schedule_event(action, now + action._remaining / rate)
+
+    def update_actions_state(self, now: float, delta: float) -> List[Action]:
+        """Fire the events due at ``now``; return the completed actions."""
+        self.clock = now
+        finished: List[Action] = []
+        heap = self._heap
+        while heap:
+            date, _, version, action = heap[0]
+            if version != action._event_version or not action.is_running():
+                heapq.heappop(heap)
+                continue
+            if date > now + TIME_EPSILON:
+                break
+            heapq.heappop(heap)
+            action._event_version += 1
+            self._fire_event(action, now, finished)
+        return finished
+
+    def _fire_event(self, action: Action, now: float,
+                    finished: List[Action]) -> None:
+        """Handle one due event: by default, the action's completion."""
+        self._complete(action, now, finished)
+
+    def _complete(self, action: Action, now: float,
+                  finished: List[Action]) -> None:
+        action.sync_remaining(now)
+        action._remaining = 0.0
+        action.finish(now, ActionState.DONE)
+        finished.append(action)
+
+    # -- failures ----------------------------------------------------------------
+    def _actions_using(self, resource) -> List[Action]:
+        """Running actions registered on ``resource``'s constraint."""
+        constraint = resource.constraint
+        if constraint is None:
+            return []
+        return [elem.variable.data for elem in constraint.elements
+                if isinstance(elem.variable.data, Action)]
+
+    def fail_actions_on(self, resource, now: float) -> List[Action]:
+        """Fail every running action using ``resource`` (resource failure)."""
+        failed: List[Action] = []
+        for action in self._actions_using(resource):
+            if action.is_running():
+                action.fail(now)
+                failed.append(action)
+        return failed

@@ -22,22 +22,27 @@ The model follows SimGrid's CM02 fluid model of that era:
   (the original CM02 paper uses 0.92 and 10.4; we default to neutral 1.0
   values so results are easy to reason about, and the validation benchmark
   explores their effect).
+
+A transfer has at most one live event in the model's heap at a time: the
+end of its latency phase while it is being paid, then its predicted
+completion date once the solver has assigned it a bandwidth share (see
+:class:`~repro.surf.model.FluidModel`).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence
 
-from repro.surf.action import Action, ActionState
+from repro.surf.action import Action
 from repro.surf.lmm import MaxMinSystem
+from repro.surf.model import COMPLETION_EPSILON, FluidModel
 from repro.surf.resource import Resource
 from repro.surf.trace import Trace
 
 __all__ = ["NetworkModel", "NetworkModelConfig", "LinkResource", "NetworkAction"]
 
-_COMPLETION_EPSILON = 1e-6
 _LATENCY_EPSILON = 1e-12
 
 
@@ -119,14 +124,13 @@ class NetworkAction(Action):
         return super().effective_weight()
 
 
-class NetworkModel:
+class NetworkModel(FluidModel):
     """Fluid model of data transfers sharing network links."""
 
     def __init__(self, config: Optional[NetworkModelConfig] = None) -> None:
+        super().__init__()
         self.config = config or NetworkModelConfig()
-        self.system = MaxMinSystem()
         self.links: Dict[str, LinkResource] = {}
-        self.running: Set[NetworkAction] = set()
 
     # -- platform construction -----------------------------------------------------
     def add_link(self, name: str, bandwidth: float, latency: float = 0.0,
@@ -186,97 +190,40 @@ class NetworkModel:
             self.system.expand(link.constraint, var, 1.0)
         self.running.add(action)
 
+        if action.in_latency_phase:
+            # The latency phase ends at a known absolute date; schedule it
+            # now so the heap drives the phase switch.
+            self._schedule_event(action, self.clock + action.latency_remaining)
+
         if any(not link.is_on for link in links):
             action.fail(action.start_time)
         return action
 
-    # -- model callbacks ------------------------------------------------------------
-    def on_action_finished(self, action: Action) -> None:
-        """Model hook: drop the LMM variable of a terminated transfer."""
-        if action.variable is not None:
-            self.system.remove_variable(action.variable)
-            action.variable = None
-        self.running.discard(action)  # type: ignore[arg-type]
-
-    def on_action_priority_changed(self, action: Action) -> None:
-        """Model hook: push new weight/bound to the LMM system."""
-        if action.variable is None:
+    # -- event handling ------------------------------------------------------------
+    def _reschedule_action(self, action: Action, now: float) -> None:
+        if isinstance(action, NetworkAction) and action.in_latency_phase:
+            # The latency-end event is already in the heap; a solve that
+            # touched the flow's links must not displace it.
             return
-        self.system.update_variable_weight(action.variable,
-                                           action.effective_weight())
-        self.system.update_variable_bound(action.variable, action.bound)
+        super()._reschedule_action(action, now)
 
-    # -- simulation steps -------------------------------------------------------------
-    def share_resources(self, now: float) -> float:
-        """Solve the LMM system; return the delay until the next event.
-
-        The next event of a transfer is either the end of its latency phase
-        or its completion at the freshly computed rate.
-        """
-        for action in self.running:
-            if action.variable is not None:
-                self.system.update_variable_weight(action.variable,
-                                                   action.effective_weight())
-                self.system.update_variable_bound(action.variable,
-                                                  action.bound)
-        self.system.solve()
-        min_delta = math.inf
-        for action in self.running:
-            if not action.is_running():
-                continue
-            if action.in_latency_phase:
-                delta = action.latency_remaining
+    def _fire_event(self, action: Action, now: float,
+                    finished: List[Action]) -> None:
+        if isinstance(action, NetworkAction) and action.in_latency_phase:
+            # End of the latency phase.
+            action.latency_remaining = 0.0
+            action.last_sync = now
+            if (action._remaining <= COMPLETION_EPSILON
+                    or math.isinf(action.last_rate)):
                 # A zero-byte message completes right at the end of latency.
-            else:
-                if action.remaining <= _COMPLETION_EPSILON:
-                    delta = 0.0
-                else:
-                    delta = action.time_to_completion()
-            if delta < min_delta:
-                min_delta = delta
-        return min_delta
-
-    def update_actions_state(self, now: float,
-                             delta: float) -> List[NetworkAction]:
-        """Advance every running transfer by ``delta``; return completions."""
-        finished: List[NetworkAction] = []
-        for action in list(self.running):
-            if not action.is_running():
-                continue
-            remaining_delta = delta
-            if action.in_latency_phase:
-                consumed = min(action.latency_remaining, remaining_delta)
-                action.latency_remaining -= consumed
-                remaining_delta -= consumed
-                if action.in_latency_phase:
-                    continue  # still paying latency
-                # Latency finished: start consuming bandwidth next round.
-                self.on_action_priority_changed(action)
-            if remaining_delta > 0:
-                action.update_remaining(remaining_delta)
-            # A transfer whose rate is unconstrained (empty route and no
-            # rate cap: a loopback communication) completes as soon as its
-            # latency is paid; without this, its infinite rate would make
-            # share_resources report a zero delay forever and the engine
-            # would spin without advancing time.
-            if (not action.in_latency_phase
-                    and (action.remaining <= _COMPLETION_EPSILON
-                         or math.isinf(action.rate))):
-                action.remaining = 0.0
-                action.finish(now, ActionState.DONE)
-                finished.append(action)
-        return finished
-
-    # -- failures -------------------------------------------------------------------
-    def fail_actions_on(self, link: LinkResource,
-                        now: float) -> List[NetworkAction]:
-        """Fail every running transfer crossing ``link``."""
-        failed: List[NetworkAction] = []
-        for action in list(self.running):
-            if link in action.links and action.is_running():
-                action.fail(now)
-                failed.append(action)
-        return failed
+                self._complete(action, now, finished)
+                return
+            # Start consuming bandwidth: the weight flip dirties the LMM
+            # system, and the next solve assigns a rate and schedules the
+            # completion.
+            self.on_action_priority_changed(action)
+            return
+        self._complete(action, now, finished)
 
     def resource_of(self, name: str) -> LinkResource:
         """Lookup a link by name (raises ``KeyError`` if unknown)."""

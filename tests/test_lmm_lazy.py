@@ -1,0 +1,352 @@
+"""Tests for the selective (lazy) LMM solve and lazy action management.
+
+The selective solver must be *observationally identical* to a from-scratch
+progressive filling: after any sequence of mutations, solving lazily must
+give every variable the same value a freshly-built copy of the system
+would get.  These tests drive randomized systems through randomized
+mutation sequences and compare against the reference at every step.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.surf.cpu import CpuModel
+from repro.surf.engine import SurfEngine
+from repro.surf.lmm import MaxMinSystem
+from repro.surf.network import NetworkModel
+
+
+# ----------------------------------------------------------------------------------
+# reference helper: rebuild the live system from scratch and full-solve it
+# ----------------------------------------------------------------------------------
+
+def reference_values(system):
+    """Map variable id -> value a from-scratch full solve would assign."""
+    fresh = MaxMinSystem()
+    cns_map = {}
+    for cns in system.constraints:
+        cns_map[cns.id] = fresh.new_constraint(cns.capacity, shared=cns.shared)
+    var_map = {}
+    for var in system.variables:
+        var_map[var.id] = fresh.new_variable(weight=var.weight,
+                                             bound=var.bound)
+        for elem in var.elements:
+            fresh.expand(cns_map[elem.constraint.id], var_map[var.id],
+                         elem.usage)
+    fresh.solve()
+    return {vid: clone.value for vid, clone in var_map.items()}
+
+
+def assert_matches_reference(system):
+    expected = reference_values(system)
+    for var in system.variables:
+        if math.isinf(expected[var.id]):
+            assert math.isinf(var.value), f"var {var.id}"
+        else:
+            assert var.value == pytest.approx(expected[var.id], rel=1e-9,
+                                              abs=1e-9), f"var {var.id}"
+
+
+# ----------------------------------------------------------------------------------
+# selective solve == from-scratch solve on randomized mutation sequences
+# ----------------------------------------------------------------------------------
+
+@st.composite
+def mutation_script(draw):
+    """A random system plus a random sequence of mutations."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    num_constraints = draw(st.integers(min_value=1, max_value=6))
+    num_variables = draw(st.integers(min_value=1, max_value=10))
+    num_mutations = draw(st.integers(min_value=1, max_value=12))
+    return seed, num_constraints, num_variables, num_mutations
+
+
+@settings(max_examples=60, deadline=None)
+@given(mutation_script())
+def test_property_selective_solve_matches_full_solve(script):
+    seed, num_constraints, num_variables, num_mutations = script
+    rng = random.Random(seed)
+
+    system = MaxMinSystem()
+    constraints = [
+        system.new_constraint(rng.uniform(1.0, 1000.0),
+                              shared=rng.random() > 0.25)
+        for _ in range(num_constraints)
+    ]
+    variables = []
+    for _ in range(num_variables):
+        bound = rng.uniform(0.5, 500.0) if rng.random() < 0.4 else None
+        var = system.new_variable(weight=rng.uniform(0.1, 10.0), bound=bound)
+        for cns in rng.sample(constraints,
+                              rng.randint(1, len(constraints))):
+            system.expand(cns, var, rng.uniform(0.5, 2.0))
+        variables.append(var)
+
+    system.solve()
+    assert_matches_reference(system)
+
+    for _ in range(num_mutations):
+        live = [v for v in system.variables]
+        op = rng.randrange(5)
+        if op == 0 and live:
+            system.update_variable_weight(
+                rng.choice(live), rng.choice([0.0, rng.uniform(0.1, 10.0)]))
+        elif op == 1 and live:
+            system.update_variable_bound(
+                rng.choice(live),
+                rng.choice([None, rng.uniform(0.5, 500.0)]))
+        elif op == 2:
+            system.update_constraint_capacity(
+                rng.choice(constraints), rng.uniform(1.0, 1000.0))
+        elif op == 3 and live:
+            system.remove_variable(rng.choice(live))
+        else:
+            bound = rng.uniform(0.5, 500.0) if rng.random() < 0.4 else None
+            var = system.new_variable(weight=rng.uniform(0.1, 10.0),
+                                      bound=bound)
+            for cns in rng.sample(constraints,
+                                  rng.randint(1, len(constraints))):
+                system.expand(cns, var, rng.uniform(0.5, 2.0))
+        system.solve()
+        assert_matches_reference(system)
+        assert system.check_feasible()
+
+
+def test_solve_all_forces_full_resolve():
+    system = MaxMinSystem()
+    link = system.new_constraint(100.0)
+    a = system.new_variable()
+    b = system.new_variable()
+    system.expand(link, a)
+    system.expand(link, b)
+    system.solve()
+    # Corrupt the values behind the solver's back; a plain solve is clean
+    # and must skip, solve_all must repair.
+    a.value = b.value = -1.0
+    system.solve()
+    assert a.value == -1.0
+    system.solve_all()
+    assert a.value == pytest.approx(50.0)
+    assert b.value == pytest.approx(50.0)
+
+
+# ----------------------------------------------------------------------------------
+# clean systems skip the solve entirely
+# ----------------------------------------------------------------------------------
+
+class TestSolveSkipsWhenClean:
+    def test_second_solve_is_skipped(self):
+        system = MaxMinSystem()
+        link = system.new_constraint(100.0)
+        var = system.new_variable()
+        system.expand(link, var)
+        assert system._dirty
+        changed = system.solve()
+        assert var in changed
+        assert not system._dirty
+        before = system.solve_skipped
+        assert system.solve() == []
+        assert system.solve_skipped == before + 1
+        assert var.value == pytest.approx(100.0)
+
+    def test_noop_updates_do_not_dirty(self):
+        system = MaxMinSystem()
+        link = system.new_constraint(100.0)
+        var = system.new_variable(bound=50.0)
+        system.expand(link, var)
+        system.solve()
+        system.update_variable_weight(var, 1.0)     # unchanged
+        system.update_variable_bound(var, 50.0)     # unchanged
+        system.update_constraint_capacity(link, 100.0)  # unchanged
+        assert not system._dirty
+
+    def test_disjoint_component_not_resolved(self):
+        system = MaxMinSystem()
+        link_a = system.new_constraint(100.0)
+        link_b = system.new_constraint(80.0)
+        var_a = system.new_variable()
+        var_b = system.new_variable()
+        system.expand(link_a, var_a)
+        system.expand(link_b, var_b)
+        system.solve()
+        baseline = system.variables_solved
+        # Touching link_a's component must not re-visit link_b's.
+        system.update_constraint_capacity(link_a, 60.0)
+        changed = system.solve()
+        assert changed == [var_a]
+        assert system.variables_solved == baseline + 1
+        assert var_a.value == pytest.approx(60.0)
+        assert var_b.value == pytest.approx(80.0)
+
+    def test_zero_weight_variable_does_not_bridge_components(self):
+        system = MaxMinSystem()
+        link_a = system.new_constraint(100.0)
+        link_b = system.new_constraint(80.0)
+        bridge = system.new_variable(weight=0.0)
+        system.expand(link_a, bridge)
+        system.expand(link_b, bridge)
+        var_b = system.new_variable()
+        system.expand(link_b, var_b)
+        system.solve()
+        baseline = system.constraints_solved
+        system.update_constraint_capacity(link_a, 60.0)
+        system.solve()
+        # Only link_a visited: the zero-weight bridge does not propagate.
+        assert system.constraints_solved == baseline + 1
+        assert var_b.value == pytest.approx(80.0)
+
+
+# ----------------------------------------------------------------------------------
+# O(1) element removal keeps the incidence structure consistent
+# ----------------------------------------------------------------------------------
+
+def test_swap_pop_removal_keeps_constraint_elements_consistent():
+    system = MaxMinSystem()
+    link = system.new_constraint(100.0)
+    variables = [system.new_variable() for _ in range(6)]
+    for var in variables:
+        system.expand(link, var)
+    # Remove from the middle, the front and the back.
+    for victim in (variables[2], variables[0], variables[5]):
+        system.remove_variable(victim)
+        for pos, elem in enumerate(link.elements):
+            assert elem._cpos == pos
+            assert elem in elem.variable.elements
+    system.solve()
+    survivors = [variables[1], variables[3], variables[4]]
+    for var in survivors:
+        assert var.value == pytest.approx(100.0 / 3.0)
+
+
+# ----------------------------------------------------------------------------------
+# lazy action management: suspend to weight 0 and back mid-flight
+# ----------------------------------------------------------------------------------
+
+class TestWeightZeroRoundTrip:
+    def test_cpu_action_suspend_resume_completion_date(self):
+        """2 Gflop at 1 Gflop/s, frozen during [1, 3]: finishes at 4 s."""
+        engine = SurfEngine()
+        cpu = engine.cpu_model.add_cpu("h", speed=1e9)
+        action = engine.cpu_model.execute(cpu, 2e9)
+
+        result = engine.step(until=1.0)
+        assert result.reached_bound and result.time == pytest.approx(1.0)
+        action.suspend()
+        assert action.remaining == pytest.approx(1e9)
+
+        result = engine.step(until=3.0)
+        assert result.reached_bound and result.time == pytest.approx(3.0)
+        # No progress while suspended.
+        assert action.remaining == pytest.approx(1e9)
+        action.resume()
+
+        result = engine.step()
+        assert result.time == pytest.approx(4.0)
+        assert action in result.completed
+
+    def test_lmm_weight_zero_and_back_restores_share(self):
+        system = MaxMinSystem()
+        link = system.new_constraint(100.0)
+        a = system.new_variable()
+        b = system.new_variable()
+        system.expand(link, a)
+        system.expand(link, b)
+        system.solve()
+        assert a.value == pytest.approx(50.0)
+        system.update_variable_weight(a, 0.0)
+        changed = system.solve()
+        assert set(changed) == {a, b}
+        assert a.value == 0.0
+        assert b.value == pytest.approx(100.0)
+        system.update_variable_weight(a, 1.0)
+        system.solve()
+        assert a.value == pytest.approx(50.0)
+        assert b.value == pytest.approx(50.0)
+
+    def test_priority_change_midflight_shifts_completion(self):
+        """Bumping a share mid-flight must reschedule the completion date."""
+        engine = SurfEngine()
+        cpu = engine.cpu_model.add_cpu("h", speed=1e9)
+        a = engine.cpu_model.execute(cpu, 1e9)
+        b = engine.cpu_model.execute(cpu, 1e9)
+        engine.step(until=1.0)  # both at 0.5 Gflop/s: 0.5 Gflop left each
+        a.set_priority(3.0)     # a now gets 0.75 Gflop/s
+        result = engine.step()
+        assert result.time == pytest.approx(1.0 + 0.5e9 / 0.75e9)
+        assert a in result.completed
+
+
+# ----------------------------------------------------------------------------------
+# run_until_idle exposes the completed/failed actions (satellite fix)
+# ----------------------------------------------------------------------------------
+
+class TestRunUntilIdleCompletions:
+    def test_completions_of_every_step_are_exposed(self):
+        engine = SurfEngine()
+        cpu = engine.cpu_model.add_cpu("h", speed=1e9)
+        fast = engine.cpu_model.execute(cpu, 1e9)
+        slow = engine.cpu_model.execute(cpu, 3e9)
+        link = engine.network_model.add_link("l", bandwidth=1e6, latency=0.0)
+        flow = engine.network_model.communicate([link], 2e6)
+        engine.run_until_idle()
+        assert set(engine.last_completed) == {fast, slow, flow}
+        assert engine.last_failed == []
+
+    def test_failed_actions_are_exposed(self):
+        engine = SurfEngine()
+        cpu = engine.cpu_model.add_cpu("h", speed=1e9)
+        action = engine.cpu_model.execute(cpu, 1e12)
+        engine.schedule_failure(cpu, at=1.0)
+        engine.run_until_idle(max_time=5.0)
+        assert action in engine.last_failed
+        assert action not in engine.last_completed
+
+
+# ----------------------------------------------------------------------------------
+# lazy progress extrapolation stays observable mid-flight
+# ----------------------------------------------------------------------------------
+
+def test_external_remaining_write_reschedules_completion():
+    """Assigning ``remaining`` mid-flight must displace the predicted date."""
+    engine = SurfEngine()
+    cpu = engine.cpu_model.add_cpu("h", speed=1.0)
+    action = engine.cpu_model.execute(cpu, 10.0)
+    engine.step(until=2.0)                 # completion predicted at t=10
+    action.remaining = 1.0
+    result = engine.step()
+    assert result.time == pytest.approx(3.0)
+    assert action in result.completed
+
+
+def test_remaining_extrapolates_between_events():
+    engine = SurfEngine()
+    cpu = engine.cpu_model.add_cpu("h", speed=1e9)
+    action = engine.cpu_model.execute(cpu, 4e9)
+    engine.step(until=1.0)
+    # No event fired for the action itself, yet its observable progress
+    # must reflect the elapsed simulated time.
+    assert action.remaining == pytest.approx(3e9)
+    assert action.progress() == pytest.approx(0.25)
+    engine.step(until=2.0)
+    assert action.remaining == pytest.approx(2e9)
+
+
+def test_network_transfer_remaining_during_and_after_latency():
+    model = NetworkModel()
+    link = model.add_link("l", bandwidth=1e6, latency=0.5)
+    action = model.communicate([link], size=1e6)
+    model.share_resources(0.0)
+    assert action.remaining == pytest.approx(1e6)  # latency: no bytes yet
+    model.update_actions_state(0.5, 0.5)
+    delta = model.share_resources(0.5)
+    assert delta == pytest.approx(1.0)
+    done = model.update_actions_state(1.5, 1.0)
+    assert done == [action]
+
+
+def test_cpu_model_has_no_sleep_pseudo_action():
+    """Sleeps go through the engine timer queue, not the CPU model."""
+    assert not hasattr(CpuModel, "sleep")
