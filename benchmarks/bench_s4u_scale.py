@@ -1,23 +1,40 @@
-"""Experiment S1 — s4u-native scale: thousands of actors through ActivitySet.
+"""Experiments S1–S4 — s4u-native scale workloads.
 
 The ROADMAP asks for large-scale scenarios driving thousands of actors
-through the async s4u primitives.  This harness runs an async client/server
-fleet on a star platform: every worker overlaps an execution with a message
-to a central sink and reaps both through ``ActivitySet.wait_any``, while the
-sink drains one mailbox for the whole fleet.  It exercises exactly the hot
-path the lazy SURF kernel optimises — thousands of concurrent actions with
-tiny, disjoint LMM components — and reports kernel observability counters
-(how many solves were skipped, how much of the system each solve visited)
-alongside wall-clock throughput.
+through the async s4u primitives.  Four workloads live here:
+
+* **S1 fleet** (:func:`run_fleet`) — an async client/server fleet: every
+  worker overlaps an execution with a message to a central sink and reaps
+  both through ``ActivitySet.wait_any`` while the sink drains one mailbox
+  for the whole fleet;
+* **S2 pipeline** (:func:`run_pipeline`) — parallel multi-stage pipelines
+  where each stage overlaps its computation with the forward transfer of
+  the previous block (classic comm/compute overlap);
+* **S3 activity race** (:func:`run_activity_race`) — actors racing an
+  execution against a sleep and cancelling the loser, exercising the
+  cancellation and selective re-solve paths at scale;
+* **S4 actor churn** (:func:`run_actor_churn`) — a spawner creating waves
+  of short-lived actors that compute, report to a sink and die, exercising
+  dynamic actor creation/teardown and join.
+
+:func:`run_smpi_scale` additionally drives the ported SMPI layer (eager
+detached puts + per-rank mailbox drain, no task wrappers) at scale so the
+port's hot-path win shows up in the perf trajectory.
+
+All of them exercise exactly the hot path the lazy SURF kernel optimises —
+many concurrent actions with tiny, disjoint LMM components — and report
+kernel observability counters (how many solves were skipped, how much of
+the system each solve visited) alongside wall-clock throughput.
 
 Run standalone (``python bench_s4u_scale.py [num_workers]``) or through
 ``run_benchmarks.py``.
 """
 
+import math
 import sys
 import time
 
-from repro.platform import make_star
+from repro.platform import make_cluster, make_star
 from repro.s4u import ActivitySet, Engine
 
 
@@ -80,6 +97,220 @@ def run_fleet(num_workers: int = 1000, rounds: int = 2,
         "activities": activities,
         "activities_per_s": activities / wall if wall > 0 else float("inf"),
         "lmm": solver_stats(engine),
+    }
+
+
+def run_pipeline(num_chains: int = 100, stages: int = 4, rounds: int = 3,
+                 flops: float = 2e7, msg_bytes: float = 5e4) -> dict:
+    """S2: ``num_chains`` parallel pipelines overlapping comm and compute.
+
+    Stage ``s`` of a chain receives block ``r`` from stage ``s-1``, then
+    computes on it *while* forwarding it to stage ``s+1`` (both reaped via
+    ``ActivitySet``), so successive rounds stream through the pipeline.
+    """
+    platform = make_star(num_hosts=num_chains * stages, host_speed=1e9,
+                         link_bandwidth=125e6, link_latency=1e-4)
+    engine = Engine(platform)
+    delivered = [0]
+
+    def stage_body(actor, chain, stage):
+        inbox = (engine.mailbox(f"pipe:{chain}:{stage}")
+                 if stage > 0 else None)
+        outbox = (engine.mailbox(f"pipe:{chain}:{stage + 1}")
+                  if stage < stages - 1 else None)
+        for r in range(rounds):
+            if inbox is not None:
+                yield inbox.get()
+                if stage == stages - 1:
+                    delivered[0] += 1
+            pending = ActivitySet()
+            comp = yield actor.exec_async(flops)
+            pending.push(comp)
+            if outbox is not None:
+                comm = yield outbox.put_async(r, size=msg_bytes)
+                pending.push(comm)
+            while not pending.empty():
+                yield pending.wait_any()
+
+    for chain in range(num_chains):
+        for stage in range(stages):
+            engine.add_actor(f"pipe-{chain}-{stage}",
+                             f"leaf-{chain * stages + stage}",
+                             stage_body, chain, stage)
+
+    start = time.perf_counter()
+    simulated = engine.run()
+    wall = time.perf_counter() - start
+
+    if delivered[0] != num_chains * rounds:
+        raise AssertionError(
+            f"sinks received {delivered[0]} of {num_chains * rounds} blocks")
+
+    # Per chain per round: `stages` execs + `stages - 1` transfers.
+    activities = num_chains * rounds * (2 * stages - 1)
+    return {
+        "simulated_time_s": simulated,
+        "wall_clock_s": wall,
+        "peak_actors": num_chains * stages,
+        "activities": activities,
+        "activities_per_s": activities / wall if wall > 0 else float("inf"),
+        "lmm": solver_stats(engine),
+    }
+
+
+def run_activity_race(num_actors: int = 500, rounds: int = 4,
+                      fast_flops: float = 1e6, slow_flops: float = 1e9,
+                      nap: float = 0.01) -> dict:
+    """S3: every actor races an exec against a sleep, cancelling the loser.
+
+    On even rounds the execution wins (tiny), on odd rounds the sleep wins
+    and the (large) execution is cancelled mid-flight — exercising both
+    completion orders plus the cancellation path of the lazy kernel at
+    scale.
+    """
+    platform = make_star(num_hosts=num_actors, host_speed=1e9,
+                         link_bandwidth=125e6, link_latency=1e-4)
+    engine = Engine(platform)
+    outcomes = [0, 0]  # [exec wins, sleep wins]
+
+    def racer(actor, index):
+        for r in range(rounds):
+            flops = fast_flops if r % 2 == 0 else slow_flops
+            comp = yield actor.exec_async(flops)
+            snooze = yield actor.sleep_async(nap)
+            pending = ActivitySet([comp, snooze])
+            winner = yield pending.wait_any()
+            outcomes[0 if winner is comp else 1] += 1
+            for loser in pending.activities:
+                loser.cancel()
+                pending.erase(loser)
+
+    for i in range(num_actors):
+        engine.add_actor(f"racer-{i}", f"leaf-{i}", racer, i)
+
+    start = time.perf_counter()
+    simulated = engine.run()
+    wall = time.perf_counter() - start
+
+    expected_exec_wins = num_actors * ((rounds + 1) // 2)
+    if outcomes[0] != expected_exec_wins:
+        raise AssertionError(
+            f"exec won {outcomes[0]} races, expected {expected_exec_wins}")
+
+    activities = num_actors * rounds * 2   # one winner + one cancelled each
+    return {
+        "simulated_time_s": simulated,
+        "wall_clock_s": wall,
+        "peak_actors": num_actors,
+        "activities": activities,
+        "activities_per_s": activities / wall if wall > 0 else float("inf"),
+        "lmm": solver_stats(engine),
+    }
+
+
+def run_actor_churn(waves: int = 10, actors_per_wave: int = 100,
+                    num_hosts: int = 64, flops: float = 1e6,
+                    msg_bytes: float = 1e3) -> dict:
+    """S4: waves of short-lived actors spawned, joined and reaped.
+
+    A spawner actor creates ``actors_per_wave`` workers per wave from
+    *inside* the simulation; each worker computes briefly, reports to a
+    sink and dies; the spawner joins the whole wave before launching the
+    next.  Peak alive population stays one wave — the historical actor
+    list grows ``waves`` times larger, which the engine's alive-actor
+    set must shrug off.
+    """
+    platform = make_star(num_hosts=num_hosts, host_speed=1e9,
+                         link_bandwidth=125e6, link_latency=1e-4)
+    engine = Engine(platform)
+    reports = [0]
+    total = waves * actors_per_wave
+
+    def sink(actor):
+        box = engine.mailbox("churn:sink")
+        for _ in range(total):
+            yield box.get()
+            reports[0] += 1
+
+    def worker(actor, index):
+        yield actor.execute(flops)
+        yield engine.mailbox("churn:sink").put(index, size=msg_bytes)
+
+    def spawner(actor):
+        for wave in range(waves):
+            batch = []
+            for i in range(actors_per_wave):
+                batch.append(engine.add_actor(
+                    f"churn-{wave}-{i}", f"leaf-{i % num_hosts}",
+                    worker, wave * actors_per_wave + i))
+            for spawned in batch:
+                yield spawned.join()
+
+    engine.add_actor("churn-sink", "center", sink)
+    engine.add_actor("churn-spawner", "center", spawner)
+
+    start = time.perf_counter()
+    simulated = engine.run()
+    wall = time.perf_counter() - start
+
+    if reports[0] != total:
+        raise AssertionError(
+            f"sink saw {reports[0]} of {total} worker reports")
+
+    activities = 2 * total   # one exec + one comm per short-lived actor
+    return {
+        "simulated_time_s": simulated,
+        "wall_clock_s": wall,
+        "peak_actors": actors_per_wave + 2,
+        "total_actors": total + 2,
+        "activities": activities,
+        "activities_per_s": activities / wall if wall > 0 else float("inf"),
+        "lmm": solver_stats(engine),
+    }
+
+
+def run_smpi_scale(num_ranks: int = 32, rounds: int = 4,
+                   msg_bytes: int = 100_000) -> dict:
+    """SMPI at scale: ring exchanges + allreduces over the ported layer.
+
+    Every round each rank ships ``msg_bytes`` to its right neighbour (an
+    eager detached put on the s4u engine — no per-message task allocation)
+    and the communicator then allreduces a token.  Thread contexts, like
+    real SMPI programs.
+    """
+    from repro.smpi import MPI_BYTE, SmpiWorld
+
+    world = SmpiWorld(make_cluster(num_hosts=num_ranks),
+                      num_ranks=num_ranks)
+    totals = []
+
+    def program(mpi):
+        comm = mpi.COMM_WORLD
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        for r in range(rounds):
+            comm.send(0, dest=right, tag=r, count=msg_bytes,
+                      datatype=MPI_BYTE)
+            comm.recv(source=left, tag=r)
+            totals.append(comm.allreduce(1))
+
+    start = time.perf_counter()
+    simulated = world.run(program)
+    wall = time.perf_counter() - start
+
+    if totals and any(t != num_ranks for t in totals):
+        raise AssertionError("allreduce token mismatch")
+
+    # Per round: one ring message per rank plus the allreduce tree
+    # (reduce + bcast ~ 2 log2(P) hops per rank).
+    log2p = max(1, int(math.ceil(math.log2(max(2, num_ranks)))))
+    events = rounds * num_ranks * (1 + 2 * log2p)
+    return {
+        "simulated_time_s": simulated,
+        "wall_clock_s": wall,
+        "peak_actors": num_ranks,
+        "events": events,
+        "lmm": solver_stats(world.engine),
     }
 
 

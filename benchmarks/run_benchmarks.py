@@ -66,6 +66,51 @@ def _s4u_scale(size):
     }
 
 
+def _s4u_pipeline(size):
+    from bench_s4u_scale import run_pipeline
+    result = run_pipeline(num_chains=size)
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "events": result["activities"],
+        "lmm": result["lmm"],
+    }
+
+
+def _s4u_race(size):
+    from bench_s4u_scale import run_activity_race
+    result = run_activity_race(num_actors=size)
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "events": result["activities"],
+        "lmm": result["lmm"],
+    }
+
+
+def _s4u_churn(size):
+    from bench_s4u_scale import run_actor_churn
+    result = run_actor_churn(waves=10, actors_per_wave=size)
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "total_actors": result["total_actors"],
+        "events": result["activities"],
+        "lmm": result["lmm"],
+    }
+
+
+def _smpi_scale(size):
+    from bench_s4u_scale import run_smpi_scale
+    result = run_smpi_scale(num_ranks=size)
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "events": result["events"],
+        "lmm": result["lmm"],
+    }
+
+
 def _maxmin_random_solve(size):
     from bench_maxmin_sharing import large_random_solve
     system = large_random_solve(num_constraints=max(4, size // 4),
@@ -115,6 +160,10 @@ SCENARIOS = {
     "scalability_processes": (_scalability_processes, (16, 64, 256, 512),
                               (16,)),
     "s4u_scale": (_s4u_scale, (1000, 2000, 4000), (200,)),
+    "s4u_pipeline": (_s4u_pipeline, (100, 250), (25,)),
+    "s4u_race": (_s4u_race, (500, 1000), (100,)),
+    "s4u_churn": (_s4u_churn, (100, 250), (25,)),
+    "smpi_scale": (_smpi_scale, (16, 32, 64), (8,)),
     "maxmin_random_solve": (_maxmin_random_solve, (800, 3200), (200,)),
     "smpi_matmul": (_smpi_matmul, (2, 4, 8), (2,)),
     "gantt_clientserver": (_gantt_clientserver, (None,), (None,)),

@@ -6,64 +6,82 @@ servers and 3 clients"* on a hub/switch/router/Internet topology: dark
 portions are computations, light portions are communications, and the
 concurrent client flows visibly interfere because they share links.
 
-This script reproduces that scenario, prints the per-host busy/idle summary
-and renders the chart as ASCII art (``#`` = computation, ``-`` =
-communication, ``.`` = idle).
+This script reproduces that scenario on the canonical s4u API — requests
+travel as plain payloads with an explicit ``size``, no task wrappers —
+prints the per-host busy/idle summary and renders the chart as ASCII art
+(``#`` = computation, ``-`` = communication, ``.`` = idle).
 
 Run with::
 
     python examples/client_server_gantt.py
 """
 
-from repro import Environment, Recorder, GanttChart
-from repro.msg import MSG_task_create
+from dataclasses import dataclass
+
+from repro import Engine, GanttChart, Recorder
 from repro.platform import make_client_server_lan
 from repro.tracing import render_ascii_gantt
+
+MFLOP = 1e6
+MBYTE = 1e6
 
 PORT_REQUEST = 22
 PORT_ACK = 23
 REQUESTS_PER_CLIENT = 3
 
 
-def client(proc, server_name, client_index):
+@dataclass
+class WorkRequest:
+    """One remote-computation request (the paper's "Remote" task)."""
+
+    name: str
+    flops: float
+    reply_box: str
+
+
+def client(actor, server_name, client_index):
     """Send requests to its server, compute locally, wait for the ack."""
+    engine = actor.engine
+    request_box = engine.mailbox(f"{server_name}:{PORT_REQUEST}")
+    ack_box = engine.mailbox(f"{actor.host.name}:{PORT_ACK}")
     for round_idx in range(REQUESTS_PER_CLIENT):
-        remote = MSG_task_create(f"Remote-c{client_index}-r{round_idx}",
-                                 30.0, 3.2)
-        yield proc.put(remote, server_name, PORT_REQUEST)
-        local = MSG_task_create(f"Local-c{client_index}-r{round_idx}",
-                                10.50, 3.2)
-        yield proc.execute(local)
-        yield proc.get(PORT_ACK)
+        name = f"Remote-c{client_index}-r{round_idx}"
+        remote = WorkRequest(name, 30.0 * MFLOP, ack_box.name)
+        yield request_box.put(remote, size=3.2 * MBYTE, name=name)
+        yield actor.execute(10.50 * MFLOP,
+                            name=f"Local-c{client_index}-r{round_idx}")
+        yield ack_box.get()
 
 
-def server(proc, expected_requests):
+def server(actor, expected_requests):
     """Serve computation requests and acknowledge them."""
+    engine = actor.engine
+    inbox = engine.mailbox(f"{actor.host.name}:{PORT_REQUEST}")
     for _ in range(expected_requests):
-        task = yield proc.get(PORT_REQUEST)
-        yield proc.execute(task)
-        ack = MSG_task_create(f"Ack-{task.name}", 0, 0.01)
-        yield proc.put(ack, task.sender.host, PORT_ACK)
+        request = yield inbox.get()
+        yield actor.execute(request.flops, name=request.name)
+        yield engine.mailbox(request.reply_box).put(
+            "ack", size=0.01 * MBYTE, name=f"Ack-{request.name}")
 
 
 def run(num_clients=3, num_servers=2, verbose=True):
     platform = make_client_server_lan(num_clients=num_clients,
                                       num_servers=num_servers)
     recorder = Recorder()
-    env = Environment(platform, recorder=recorder)
+    engine = Engine(platform, recorder=recorder)
 
     # each client talks to server (index mod num_servers)
     requests_per_server = [0] * num_servers
     for c in range(num_clients):
         requests_per_server[c % num_servers] += REQUESTS_PER_CLIENT
     for s in range(num_servers):
-        env.create_process(f"server-{s}", f"server-{s}", server,
-                           requests_per_server[s])
+        engine.add_actor(f"server-{s}", f"server-{s}", server,
+                         requests_per_server[s])
     for c in range(num_clients):
-        env.create_process(f"client-{c}", f"client-{c}", client,
-                           f"server-{c % num_servers}", c)
+        engine.add_actor(f"client-{c}", f"client-{c}", client,
+                         f"server-{c % num_servers}", c)
 
-    final_time = env.run()
+    final_time = engine.run()
     chart = GanttChart(recorder)
 
     if verbose:

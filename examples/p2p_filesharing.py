@@ -8,18 +8,22 @@ exercises the SURF features that make such a study possible:
 * trace-driven CPU availability ("performance variations due to external
   load"),
 * trace-driven transient host failures,
-* timeouts and failure handling in the MSG API.
+* timeouts and failure handling in the s4u API.
 
-A tracker process knows which peers hold the file; downloaders ask the
+A tracker actor knows which peers hold the file; downloaders ask the
 tracker, then fetch chunks from the chosen seed.  One seed fails mid-way
-through a transfer, so its client falls back to another seed.
+through a transfer, so its client falls back to another seed.  Messages are
+plain payloads with explicit simulated sizes — ports map to mailboxes named
+``"<host>:<port>"``.
 
 Run with::
 
     python examples/p2p_filesharing.py
 """
 
-from repro import Environment, SimTimeoutError, Task, TransferFailureError
+from dataclasses import dataclass
+
+from repro import Engine, SimTimeoutError, TransferFailureError
 from repro.platform import Platform
 from repro.surf.trace import Trace
 
@@ -27,6 +31,16 @@ FILE_SIZE = 40e6          # 40 MB file
 CHUNK_SIZE = 10e6         # fetched in 10 MB chunks
 TRACKER_PORT = 1
 SEED_PORT = 2
+REPLY_PORT = 10
+CHUNK_PORT = 20
+
+
+@dataclass
+class ChunkRequest:
+    """Who wants a chunk, and which host to ship it to."""
+
+    requester: str
+    reply_host: str
 
 
 def build_volatile_platform(num_peers=4):
@@ -54,73 +68,81 @@ def build_volatile_platform(num_peers=4):
     return platform
 
 
-def tracker(proc, seeds, expected_queries):
+def tracker(actor, seeds, expected_queries):
     """Answers "who has the file?" queries with the list of seeds."""
+    engine = actor.engine
+    inbox = engine.mailbox(f"{actor.host.name}:{TRACKER_PORT}")
     served = 0
     while served < expected_queries:
-        query = yield proc.get(TRACKER_PORT)
-        reply = Task("seed-list", data_size=1e3, payload=list(seeds))
-        yield proc.put(reply, query.payload, 10)
+        asker_host = yield inbox.get()
+        yield engine.mailbox(f"{asker_host}:{REPLY_PORT}").put(
+            list(seeds), size=1e3, name="seed-list")
         served += 1
 
 
-def seed(proc, chunks_to_serve):
+def seed(actor, chunks_to_serve):
     """Serves chunk requests until told it is no longer needed."""
+    engine = actor.engine
+    inbox = engine.mailbox(f"{actor.host.name}:{SEED_PORT}")
     served = 0
     while served < chunks_to_serve:
         try:
-            request = yield proc.get(SEED_PORT, timeout=500.0)
+            request = yield inbox.get(timeout=500.0)
         except SimTimeoutError:
             return
-        chunk = Task("chunk", data_size=CHUNK_SIZE, payload=request.payload)
-        yield proc.put(chunk, request.sender.host, 20)
+        yield engine.mailbox(f"{request.reply_host}:{CHUNK_PORT}").put(
+            CHUNK_SIZE, size=CHUNK_SIZE, name="chunk")
         served += 1
 
 
-def downloader(proc, name, log, preferred_seed=0):
+def downloader(actor, name, log, preferred_seed=0):
     """Asks the tracker for seeds, then downloads the file chunk by chunk."""
-    query = Task("query", data_size=1e3, payload=proc.host.name)
-    yield proc.put(query, "tracker", TRACKER_PORT)
-    seed_list = (yield proc.get(10)).payload
+    engine = actor.engine
+    my_host = actor.host.name
+    yield engine.mailbox(f"tracker:{TRACKER_PORT}").put(
+        my_host, size=1e3, name="query")
+    seed_list = yield engine.mailbox(f"{my_host}:{REPLY_PORT}").get()
 
     remaining = FILE_SIZE
     seed_index = preferred_seed
     failures = 0
     while remaining > 0:
         target = seed_list[seed_index % len(seed_list)]
-        request = Task("chunk-request", data_size=1e3, payload=name)
+        request = ChunkRequest(requester=name, reply_host=my_host)
         try:
-            yield proc.put(request, target, SEED_PORT, timeout=60.0)
-            chunk = yield proc.get(20, timeout=120.0)
-            remaining -= chunk.data_size
-            log.append((proc.now, name, f"got chunk from {target}"))
+            yield engine.mailbox(f"{target}:{SEED_PORT}").put(
+                request, size=1e3, name="chunk-request", timeout=60.0)
+            chunk_bytes = yield engine.mailbox(
+                f"{my_host}:{CHUNK_PORT}").get(timeout=120.0)
+            remaining -= chunk_bytes
+            log.append((actor.now, name, f"got chunk from {target}"))
         except (TransferFailureError, SimTimeoutError) as exc:
             failures += 1
-            log.append((proc.now, name,
+            log.append((actor.now, name,
                         f"seed {target} unavailable ({type(exc).__name__}), "
                         "switching"))
             seed_index += 1
             if failures > 10:
-                log.append((proc.now, name, "giving up"))
+                log.append((actor.now, name, "giving up"))
                 return
-    log.append((proc.now, name, "download complete"))
+    log.append((actor.now, name, "download complete"))
 
 
 def main():
     platform = build_volatile_platform()
-    env = Environment(platform)
+    engine = Engine(platform)
     log = []
 
     seeds = ["peer-0", "peer-1"]
-    env.create_process("tracker", "tracker", tracker, seeds, 2)
-    env.create_process("seed-0", "peer-0", seed, 12, daemon=True)
-    env.create_process("seed-1", "peer-1", seed, 12, daemon=True)
+    engine.add_actor("tracker", "tracker", tracker, seeds, 2)
+    engine.add_actor("seed-0", "peer-0", seed, 12, daemon=True)
+    engine.add_actor("seed-1", "peer-1", seed, 12, daemon=True)
     # leech-2 prefers the seed that will fail at t=30s, so it exercises the
     # failure-handling / fallback path; leech-3 starts on the healthy seed.
-    env.create_process("leech-2", "peer-2", downloader, "leech-2", log, 1)
-    env.create_process("leech-3", "peer-3", downloader, "leech-3", log, 0)
+    engine.add_actor("leech-2", "peer-2", downloader, "leech-2", log, 1)
+    engine.add_actor("leech-3", "peer-3", downloader, "leech-3", log, 0)
 
-    final_time = env.run()
+    final_time = engine.run()
     print(f"P2P session finished at t={final_time:.1f} s\n")
     for when, who, what in log:
         print(f"  [{when:8.2f}] {who:8s} {what}")

@@ -1,10 +1,10 @@
 """repro — a pure-Python reproduction of the SimGrid HPDC'06 system.
 
 The package mirrors the paper's architecture, unified (as SimGrid itself
-later did) behind one actor/activity API::
+later did) behind **one canonical actor/activity API**: :mod:`repro.s4u`::
 
-    MSG               GRAS                SMPI
-    (prototyping)     (dev + deployment)  (MPI app simulation)
+    MSG (legacy shim)  GRAS                SMPI
+    (prototyping)      (dev + deployment)  (MPI app simulation)
             \\            |                /
              +--------- s4u (actors, mailboxes, activity futures) ------+
                               |
@@ -20,39 +20,44 @@ wire-format comparators for the GRAS tables), ``repro.amok`` (the Grid
 Application Toolbox: monitoring and topology discovery) and
 ``repro.tracing`` (Gantt charts).
 
-Quickstart (s4u, the modern API)
---------------------------------
->>> from repro import s4u, make_star
->>> engine = s4u.Engine(make_star(num_hosts=2))
+Quickstart (s4u, the canonical API)
+-----------------------------------
+>>> from repro import ActivitySet, Engine, make_star
+>>> engine = Engine(make_star(num_hosts=2))
 >>> def pinger(actor):
 ...     yield actor.engine.mailbox("rendezvous").put("ping", size=1e6)
 >>> def ponger(actor):
 ...     inbox = actor.engine.mailbox("rendezvous")
 ...     comp = yield actor.exec_async(1e9)       # overlap compute...
 ...     comm = yield inbox.get_async()           # ...with a receive
-...     pending = s4u.ActivitySet([comp, comm])
+...     pending = ActivitySet([comp, comm])
 ...     while not pending.empty():
 ...         done = yield pending.wait_any()      # reap in completion order
 >>> _ = engine.add_actor("pinger", "leaf-0", pinger)
 >>> _ = engine.add_actor("ponger", "leaf-1", ponger)
 >>> final_time = engine.run()
 
-The paper's MSG API (``Environment``/``Process``/``Task``) is a thin
-compatibility shim over s4u and remains fully supported:
-
->>> from repro import Environment, Task
->>> env = Environment(make_star(num_hosts=2))
->>> def sender(proc):
-...     yield proc.send(Task("ping", data_size=1e6), "box")
->>> def receiver(proc):
-...     task = yield proc.receive("box")
-...     yield proc.execute(1e9)
->>> _ = env.create_process("sender", "leaf-0", sender)
->>> _ = env.create_process("receiver", "leaf-1", receiver)
->>> final_time = env.run()
+GRAS (:class:`repro.gras.SimWorld`), SMPI (:class:`repro.smpi.SmpiWorld`)
+and AMOK all drive this engine directly.  The paper's MSG API
+(``Environment``/``Process``/``Task``) survives as a deprecated legacy shim
+over s4u: importing :mod:`repro.msg` — directly or through the lazy
+``repro.Environment`` / ``repro.Process`` / ``repro.Task`` aliases below —
+emits a :class:`DeprecationWarning` but keeps identical simulated dates.
 """
 
 from repro import s4u
+from repro.s4u import (
+    Activity,
+    ActivitySet,
+    Actor,
+    Comm,
+    Engine,
+    Exec,
+    Host,
+    Mailbox,
+    Sleep,
+    this_actor,
+)
 
 from repro.exceptions import (
     CancelledError,
@@ -68,13 +73,6 @@ from repro.exceptions import (
     SimTimeoutError,
     TransferFailureError,
     UnknownMessageError,
-)
-from repro.msg import (
-    Environment,
-    Host,
-    Mailbox,
-    Process,
-    Task,
 )
 from repro.platform import (
     Platform,
@@ -99,12 +97,35 @@ from repro.surf import (
 from repro.tracing import GanttChart, Recorder
 from repro.version import __version__
 
+#: Legacy MSG names, resolved lazily so that merely importing ``repro``
+#: does not drag the deprecated shim in (PEP 562).  Accessing any of them
+#: imports :mod:`repro.msg`, which emits its ``DeprecationWarning``.
+_MSG_LEGACY = {"Environment", "Process", "ProcessState", "Task"}
+
+
+def __getattr__(name):
+    if name in _MSG_LEGACY:
+        from repro import msg
+        return getattr(msg, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _MSG_LEGACY)
+
+
 __all__ = [
+    "Activity",
+    "ActivitySet",
+    "Actor",
     "CancelledError",
+    "Comm",
     "CpuModel",
     "DataDescriptionError",
     "DeadlockError",
+    "Engine",
     "Environment",
+    "Exec",
     "GanttChart",
     "Host",
     "HostFailureError",
@@ -122,6 +143,7 @@ __all__ = [
     "Recorder",
     "SimGridError",
     "SimTimeoutError",
+    "Sleep",
     "SurfEngine",
     "Task",
     "Trace",
@@ -138,4 +160,5 @@ __all__ = [
     "make_waxman_topology",
     "s4u",
     "save_platform",
+    "this_actor",
 ]

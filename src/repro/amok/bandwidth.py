@@ -66,26 +66,26 @@ class BandwidthMeter:
         """Run the echo side: acknowledge probes and payloads until QUIT."""
         _declare_messages(proc)
         proc.socket_server(port)
+        # One dispatch table serves probes, payloads and quit messages for
+        # the whole lifetime of the sink.
+        done = {"quit": False}
+
+        def on_probe(p, source, payload):
+            p.msg_send(p.socket_client(source.host, source.port),
+                       MSG_PROBE_ACK, payload)
+
+        def on_payload(p, source, payload):
+            p.msg_send(p.socket_client(source.host, source.port),
+                       MSG_PAYLOAD_ACK, len(payload) if payload else 0)
+
+        def on_quit(p, source, payload):
+            done["quit"] = True
+
+        proc.cb_register(MSG_PROBE, on_probe)
+        proc.cb_register(MSG_PAYLOAD, on_payload)
+        proc.cb_register(MSG_QUIT, on_quit)
         handled = 0
         while True:
-            # Wait for anything; dispatch manually so one sink serves
-            # probes, payloads and quit messages.
-            done = {"quit": False}
-
-            def on_probe(p, source, payload):
-                p.msg_send(p.socket_client(source.host, source.port),
-                           MSG_PROBE_ACK, payload)
-
-            def on_payload(p, source, payload):
-                p.msg_send(p.socket_client(source.host, source.port),
-                           MSG_PAYLOAD_ACK, len(payload) if payload else 0)
-
-            def on_quit(p, source, payload):
-                done["quit"] = True
-
-            proc.cb_register(MSG_PROBE, on_probe)
-            proc.cb_register(MSG_PAYLOAD, on_payload)
-            proc.cb_register(MSG_QUIT, on_quit)
             if not proc.msg_handle(self.timeout):
                 return
             handled += 1

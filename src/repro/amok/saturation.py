@@ -3,9 +3,10 @@
 AMOK's saturation module floods a path with traffic while another pair of
 processes measures the bandwidth they still obtain — that is how the
 original tool detects which measurement pairs *interfere*, i.e. share a
-bottleneck.  The simulated version reproduces this on an MSG environment:
-the saturating flow and the measured flow run concurrently, and the drop in
-measured bandwidth quantifies the interference.
+bottleneck.  The simulated version reproduces this on an s4u engine: the
+saturating flow and the measured flow run as actors exchanging raw payloads
+with explicit sizes, and the drop in measured bandwidth quantifies the
+interference.
 """
 
 from __future__ import annotations
@@ -13,9 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.msg.environment import Environment
-from repro.msg.task import Task
 from repro.platform.platform import Platform
+from repro.s4u.engine import Engine
 
 __all__ = ["SaturationExperiment", "SaturationResult"]
 
@@ -54,33 +54,30 @@ class SaturationExperiment:
                         saturate: Optional[Tuple[str, str]] = None) -> float:
         """Simulate one probe transfer; returns its duration."""
         platform = platform_factory()
-        env = Environment(platform)
+        engine = Engine(platform)
         finished: Dict[str, float] = {}
 
-        def sender(proc, mailbox, size):
-            yield proc.send(Task("probe", data_size=size), mailbox)
+        def sender(actor, mailbox, size, label):
+            yield engine.mailbox(mailbox).put(label, size=size, name=label)
 
-        def receiver(proc, mailbox):
-            start = proc.now
-            yield proc.receive(mailbox)
-            finished["duration"] = proc.now - start
+        def receiver(actor, mailbox):
+            start = actor.now
+            yield engine.mailbox(mailbox).get()
+            finished["duration"] = actor.now - start
 
-        def saturator(proc, mailbox, size):
-            yield proc.send(Task("saturation", data_size=size), mailbox)
+        def sink(actor, mailbox):
+            yield engine.mailbox(mailbox).get()
 
-        def sink(proc, mailbox):
-            yield proc.receive(mailbox)
-
-        env.create_process("probe-send", src, sender, "amok:probe",
-                           self.probe_bytes)
-        env.create_process("probe-recv", dst, receiver, "amok:probe")
+        engine.add_actor("probe-send", src, sender, "amok:probe",
+                         self.probe_bytes, "probe")
+        engine.add_actor("probe-recv", dst, receiver, "amok:probe")
         if saturate is not None:
             sat_src, sat_dst = saturate
-            env.create_process("sat-send", sat_src, saturator, "amok:sat",
-                               self.saturation_bytes, daemon=True)
-            env.create_process("sat-recv", sat_dst, sink, "amok:sat",
-                               daemon=True)
-        env.run()
+            engine.add_actor("sat-send", sat_src, sender, "amok:sat",
+                             self.saturation_bytes, "saturation", daemon=True)
+            engine.add_actor("sat-recv", sat_dst, sink, "amok:sat",
+                             daemon=True)
+        engine.run()
         return finished.get("duration", float("inf"))
 
     def run(self, platform_factory, measured_pair: Tuple[str, str],

@@ -1,14 +1,19 @@
-"""GRAS simulation backend: run GRAS processes inside the MSG simulator.
+"""GRAS simulation backend: run GRAS processes as s4u actors.
 
-A :class:`SimWorld` wraps an MSG :class:`~repro.msg.environment.Environment`
-configured with the *thread* context factory, so GRAS application code is
-written as plain blocking calls — the very same code the real-life backend
+A :class:`SimWorld` wraps an :class:`repro.s4u.engine.Engine` configured
+with the *thread* context factory, so GRAS application code is written as
+plain blocking calls — the very same code the real-life backend
 (:mod:`repro.gras.rl_backend`) executes over real sockets.
 
-Message transport: each ``(host, port)`` server socket maps to the MSG
-mailbox ``"gras:<host>:<port>"``; ``msg_send`` wraps the encoded payload in
-an MSG task whose ``data_size`` is the wire size of the message, so the
-SURF network model charges exactly what the real message would cost.
+Message transport: each ``(host, port)`` server socket maps to the s4u
+mailbox ``"gras:<host>:<port>"``; ``msg_send`` puts the encoded
+:class:`~repro.gras.message.GrasMessage` on that mailbox with an explicit
+``size`` equal to the wire size of the message, so the SURF network model
+charges exactly what the real message would cost.  No per-message wrapper
+object is allocated: the payload travels as-is through the mailbox, and
+selective receive (``msg_wait``) combines the local reorder buffer with the
+mailbox probe primitives (:meth:`~repro.s4u.mailbox.Mailbox.listen` /
+``peek_payload``).
 """
 
 from __future__ import annotations
@@ -21,10 +26,10 @@ from repro.gras.arch import ARCHITECTURES, Architecture, LOCAL_ARCH
 from repro.gras.message import GrasMessage
 from repro.gras.process import GrasProcess
 from repro.gras.socket import GrasSocket
-from repro.msg.environment import Environment
-from repro.msg.process import Process
-from repro.msg.task import Task
 from repro.platform.platform import Platform
+from repro.s4u.actor import Actor
+from repro.s4u.engine import Engine
+from repro.s4u.mailbox import Mailbox
 
 __all__ = ["SimWorld", "SimGrasProcess"]
 
@@ -37,20 +42,20 @@ def _mailbox_name(host: str, port: int) -> str:
 
 
 class SimGrasProcess(GrasProcess):
-    """A GRAS process executed inside the simulator."""
+    """A GRAS process executed inside the simulator (one s4u actor)."""
 
-    def __init__(self, world: "SimWorld", msg_process: Process,
+    def __init__(self, world: "SimWorld", actor: Actor,
                  arch: Architecture) -> None:
-        super().__init__(msg_process.name, arch)
+        super().__init__(actor.name, arch)
         self.world = world
-        self._proc = msg_process
+        self._actor = actor
         self._listen_port: Optional[int] = None
         self._buffer: List[GrasMessage] = []
 
     # -- sockets ---------------------------------------------------------------------
     @property
     def host_name(self) -> str:
-        return self._proc.host.name
+        return self._actor.host.name
 
     def socket_server(self, port: int) -> GrasSocket:
         self._listen_port = port
@@ -61,8 +66,11 @@ class SimGrasProcess(GrasProcess):
 
     def _ensure_listen_port(self) -> int:
         if self._listen_port is None:
-            self._listen_port = _EPHEMERAL_BASE + self._proc.pid
+            self._listen_port = _EPHEMERAL_BASE + self._actor.pid
         return self._listen_port
+
+    def _mailbox(self, host: str, port: int) -> Mailbox:
+        return self._actor.engine.mailbox(_mailbox_name(host, port))
 
     # -- messaging --------------------------------------------------------------------
     def msg_send(self, socket: GrasSocket, msgtype_name: str,
@@ -78,10 +86,9 @@ class SimGrasProcess(GrasProcess):
             sender_host=self.host_name,
             sender_port=self._ensure_listen_port(),
         )
-        task = Task(f"gras:{msgtype_name}",
-                    data_size=msgtype.wire_size(payload, self.arch),
-                    payload=message)
-        self._proc.send(task, _mailbox_name(socket.host, socket.port))
+        self._mailbox(socket.host, socket.port).put(
+            message, size=msgtype.wire_size(payload, self.arch),
+            name=f"gras:{msgtype_name}")
 
     def _next_message(self, timeout: float) -> GrasMessage:
         """Pop the next message (from the buffer or from the mailbox)."""
@@ -91,11 +98,8 @@ class SimGrasProcess(GrasProcess):
 
     def _recv_from_mailbox(self, timeout: float) -> GrasMessage:
         """Block until a *new* message arrives on the listen mailbox."""
-        port = self._ensure_listen_port()
-        task = self._proc.receive(_mailbox_name(self.host_name, port),
-                                  timeout=timeout if not math.isinf(timeout)
-                                  else None)
-        return task.payload
+        box = self._mailbox(self.host_name, self._ensure_listen_port())
+        return box.get(timeout=timeout if not math.isinf(timeout) else None)
 
     def _decode(self, message: GrasMessage) -> Any:
         msgtype = self.registry.by_name(message.msgtype)
@@ -129,6 +133,21 @@ class SimGrasProcess(GrasProcess):
                         self._decode(message))
             self._buffer.append(message)
 
+    def msg_waiting(self, msgtype_name: Optional[str] = None) -> bool:
+        """Non-blocking probe: would ``msg_wait`` return without blocking?
+
+        Checks the reorder buffer and the mailbox's pending sends (via the
+        s4u probe primitives) without consuming anything.
+        """
+        if any(msgtype_name is None or m.msgtype == msgtype_name
+               for m in self._buffer):
+            return True
+        box = self._mailbox(self.host_name, self._ensure_listen_port())
+        return any(isinstance(message, GrasMessage)
+                   and (msgtype_name is None
+                        or message.msgtype == msgtype_name)
+                   for message in box.pending_payloads())
+
     def msg_handle(self, timeout: float) -> bool:
         try:
             message = (self._buffer.pop(0) if self._buffer
@@ -145,17 +164,17 @@ class SimGrasProcess(GrasProcess):
 
     # -- time ---------------------------------------------------------------------------
     def os_time(self) -> float:
-        return self._proc.now
+        return self._actor.now
 
     def os_sleep(self, duration: float) -> None:
-        self._proc.sleep(duration)
+        self._actor.sleep_for(duration)
 
     # -- benchmarking ------------------------------------------------------------------------
     def _inject_computation(self, duration: float) -> None:
         if duration <= 0:
             return
-        flops = duration * self._proc.host.speed
-        self._proc.execute(flops, name="gras-bench")
+        flops = duration * self._actor.host.speed
+        self._actor.execute(flops, name="gras-bench")
 
 
 class SimWorld:
@@ -164,8 +183,8 @@ class SimWorld:
     def __init__(self, platform: Platform,
                  arch_by_host: Optional[Dict[str, str]] = None,
                  recorder=None) -> None:
-        self.env = Environment(platform, context_factory="thread",
-                               recorder=recorder)
+        self.engine = Engine(platform, context_factory="thread",
+                             recorder=recorder)
         self.arch_by_host = arch_by_host or {}
         self.gras_processes: List[SimGrasProcess] = []
 
@@ -177,7 +196,7 @@ class SimWorld:
         return ARCHITECTURES[name]
 
     def add_process(self, name: str, host: str, func: Callable, *args,
-                    arch: Optional[str] = None, **kwargs) -> Process:
+                    arch: Optional[str] = None, **kwargs) -> Actor:
         """Deploy ``func(gras_process, *args)`` on ``host``.
 
         ``arch`` selects the simulated architecture of that host
@@ -187,17 +206,17 @@ class SimWorld:
         architecture = self._arch_for(host, arch)
         world = self
 
-        def body(msg_process: Process, *fargs, **fkwargs):
-            gras_process = SimGrasProcess(world, msg_process, architecture)
+        def body(actor: Actor, *fargs, **fkwargs):
+            gras_process = SimGrasProcess(world, actor, architecture)
             world.gras_processes.append(gras_process)
             func(gras_process, *fargs, **fkwargs)
 
-        return self.env.create_process(name, host, body, *args, **kwargs)
+        return self.engine.add_actor(name, host, body, *args, **kwargs)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run the simulation; returns the final simulated time."""
-        return self.env.run(until)
+        return self.engine.run(until)
 
     @property
     def now(self) -> float:
-        return self.env.now
+        return self.engine.now

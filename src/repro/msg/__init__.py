@@ -1,15 +1,30 @@
-"""MSG — the prototyping API (paper section "Application and algorithm prototyping").
+"""MSG — the paper's prototyping API, now a **deprecated** legacy shim.
 
-MSG offers *"a convenient and standard abstraction of a distributed
+MSG offered *"a convenient and standard abstraction of a distributed
 application"*: processes running on hosts, exchanging tasks that carry both
 a computation payload and a communication payload, all simulated on the SURF
 virtual platform.
 
-Since the s4u redesign this package is a thin compatibility shim: an MSG
+:mod:`repro.s4u` is the canonical API: every other layer (GRAS, SMPI, AMOK)
+talks to the s4u ``Engine``/``Actor``/``Mailbox`` objects directly, and this
+package is a pure compatibility shim kept for existing MSG programs — an MSG
 ``Environment`` is an :class:`repro.s4u.engine.Engine`, a ``Process`` is an
 :class:`repro.s4u.actor.Actor`, and the MSG activities, hosts and mailboxes
-are the s4u objects themselves — both APIs run on one kernel code path.
+are the s4u objects themselves, so the shim costs nothing at run time and
+simulated dates are identical by construction.
+
+Importing this package emits a :class:`DeprecationWarning` (once per
+process).  The translation table lives in ``ROADMAP.md``; new code should
+write ``engine.mailbox("box").put(payload, size=...)`` instead of wrapping
+payloads in :class:`~repro.msg.task.Task` objects.
 """
+
+import warnings as _warnings
+
+_warnings.warn(
+    "repro.msg is deprecated: the MSG API is a legacy compatibility shim; "
+    "use the canonical repro.s4u API (Engine/Actor/Mailbox/Comm) instead",
+    DeprecationWarning, stacklevel=2)
 
 from repro.msg.activity import (
     Activity,

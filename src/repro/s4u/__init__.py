@@ -33,9 +33,10 @@ Quickstart (generator contexts: blocking calls are ``yield``-ed)::
     engine.add_actor("feeder", "leaf-1", feeder)
     engine.run()
 
-The MSG API of the paper (:mod:`repro.msg`) is a thin compatibility shim
-over these classes, so MSG, GRAS and SMPI simulations all execute on this
-one engine.
+s4u is the canonical API of the package: GRAS (simulation mode), SMPI and
+AMOK drive these classes directly, and the paper's MSG API
+(:mod:`repro.msg`) survives only as a deprecated compatibility shim over
+them — every simulation executes on this one engine.
 """
 
 from repro.s4u import this_actor

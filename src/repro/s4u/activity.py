@@ -218,6 +218,17 @@ class Comm(Activity):
         """The transported payload (valid once the comm succeeded)."""
         return self._resolved().payload
 
+    def detach(self) -> "Comm":
+        """Turn this comm into a fire-and-forget transfer (S4U ``detach``).
+
+        A detached comm needs no waiter: the sender can terminate (or be
+        killed) while the transfer is still in flight and the payload is
+        still delivered.  SMPI's eager-protocol sends are detached comms.
+        Returns the comm itself so ``put_async(...).detach()`` chains.
+        """
+        self._resolved().detached = True
+        return self
+
     # -- MSG-era aliases ---------------------------------------------------------------
     @property
     def task(self) -> Any:

@@ -12,10 +12,12 @@ The engine is the orchestrator tying everything together (SimGrid's
 * it converts resource failures into the exceptions the paper's API
   reports (host failure, transfer failure, timeouts).
 
-MSG (:class:`repro.msg.Environment`), GRAS (in simulation mode) and SMPI
-are all thin adapters over this engine: an MSG *process* is an S4U actor,
-an MSG *activity* is an S4U activity, and the MSG blocking helpers build
-the very same kernel simcalls the S4U mailbox/activity methods build.
+GRAS (in simulation mode), SMPI and AMOK drive this engine directly
+through the s4u actor/mailbox/activity objects; the deprecated MSG shim
+(:class:`repro.msg.Environment`) is a thin adapter over it: an MSG
+*process* is an S4U actor, an MSG *activity* is an S4U activity, and the
+MSG blocking helpers build the very same kernel simcalls the S4U
+mailbox/activity methods build.
 """
 
 from __future__ import annotations

@@ -160,6 +160,35 @@ class Mailbox:
         """True when a ``get`` would match an already-posted send."""
         return self.waiting_send_count() > 0
 
+    def listen(self) -> bool:
+        """S4U name of :meth:`ready`: a sender is waiting on this mailbox."""
+        return self.waiting_send_count() > 0
+
+    def peek_payload(self) -> Any:
+        """Payload of the oldest pending send, without consuming it.
+
+        The probe half of a selective receive (GRAS ``msg_wait``): a
+        receiver can inspect what the next ``get`` would match before
+        committing to the rendezvous.  Returns ``None`` when no send is
+        pending — check :meth:`listen` first to tell "empty" from "None
+        payload".  To search beyond the queue head use
+        :meth:`pending_payloads`.
+        """
+        for comm in self.pending_sends:
+            if comm.is_pending():
+                return comm.payload
+        return None
+
+    def pending_payloads(self) -> list:
+        """Payloads of every pending send, oldest first, non-consuming.
+
+        Selective probes (``MPI_Iprobe``-style matching on source/tag, GRAS
+        message-type filters) must scan the whole queue: a matching message
+        may sit behind a non-matching one.
+        """
+        return [comm.payload for comm in self.pending_sends
+                if comm.is_pending()]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Mailbox(name={self.name!r}, sends={len(self.pending_sends)},"
                 f" recvs={len(self.pending_recvs)})")

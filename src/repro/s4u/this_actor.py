@@ -23,15 +23,25 @@ from typing import Optional
 from repro.s4u.actor import Actor, current_actor
 
 __all__ = [
-    "exec_async", "exec_init", "execute", "exit", "get_host", "get_name",
-    "get_pid", "is_suspended", "self_", "sleep_async", "sleep_for",
-    "sleep_until", "suspend", "yield_",
+    "exec_async", "exec_init", "execute", "exit", "get_engine", "get_host",
+    "get_name", "get_pid", "is_suspended", "mailbox", "self_", "sleep_async",
+    "sleep_for", "sleep_until", "suspend", "yield_",
 ]
 
 
 def self_() -> Actor:
     """The currently-running actor."""
     return current_actor()
+
+
+def get_engine():
+    """Engine the current actor runs in."""
+    return current_actor().engine
+
+
+def mailbox(name: str):
+    """Mailbox ``name`` of the current engine (S4U ``Mailbox::by_name``)."""
+    return current_actor().engine.mailbox(name)
 
 
 def get_name() -> str:

@@ -1,9 +1,10 @@
 """The SMPI entry point: deploy an MPI-style program on a simulated platform.
 
-:class:`SmpiWorld` creates one simulated process per MPI rank (each on its
-own host, cycling through the platform's hosts when there are more ranks
-than hosts) and hands every rank an :class:`Smpi` facade exposing
-``COMM_WORLD``, ``wtime`` and the benchmarking sampler.
+:class:`SmpiWorld` creates one s4u actor per MPI rank (each on its own
+host, cycling through the platform's hosts when there are more ranks than
+hosts) and hands every rank an :class:`Smpi` facade exposing
+``COMM_WORLD``, ``wtime`` and the benchmarking sampler.  Rank functions are
+plain blocking code (thread contexts), exactly like real MPI ranks.
 """
 
 from __future__ import annotations
@@ -12,9 +13,9 @@ import itertools
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import MpiError
-from repro.msg.environment import Environment
-from repro.msg.process import Process
 from repro.platform.platform import Platform
+from repro.s4u.actor import Actor
+from repro.s4u.engine import Engine
 from repro.smpi.bench import SmpiSampler
 from repro.smpi.comm import Communicator
 
@@ -26,24 +27,29 @@ _world_ids = itertools.count(0)
 class Smpi:
     """Per-rank MPI facade handed to the user's rank function."""
 
-    def __init__(self, world: "SmpiWorld", rank: int, process: Process) -> None:
+    def __init__(self, world: "SmpiWorld", rank: int, actor: Actor) -> None:
         self.world = world
         self.rank = rank
         self.size = world.num_ranks
-        self.process = process
-        self.COMM_WORLD = Communicator(self, world.comm_id, rank, world.num_ranks,
-                                       process)
-        self.sampler = SmpiSampler(process,
+        self.actor = actor
+        self.COMM_WORLD = Communicator(self, world.comm_id, rank,
+                                       world.num_ranks, actor)
+        self.sampler = SmpiSampler(actor,
                                    reference_speed=world.reference_speed)
+
+    @property
+    def process(self) -> Actor:
+        """Pre-s4u name of :attr:`actor`."""
+        return self.actor
 
     def wtime(self) -> float:
         """Simulated time, like ``MPI_Wtime``."""
-        return self.process.now
+        return self.actor.now
 
     @property
     def host_name(self) -> str:
         """Name of the (simulated) host this rank runs on."""
-        return self.process.host.name
+        return self.actor.host.name
 
     def compute(self, flops: float) -> None:
         """Charge ``flops`` of local computation to this rank."""
@@ -63,8 +69,8 @@ class SmpiWorld:
         self.num_ranks = num_ranks
         self.comm_id = next(_world_ids)
         self.reference_speed = reference_speed
-        self.env = Environment(platform, context_factory="thread",
-                               recorder=recorder)
+        self.engine = Engine(platform, context_factory="thread",
+                             recorder=recorder)
         host_names = list(hosts) if hosts is not None else platform.host_names()
         if not host_names:
             raise MpiError("the platform has no host")
@@ -84,16 +90,16 @@ class SmpiWorld:
         """
         world = self
 
-        def body(process: Process, rank: int):
-            mpi = Smpi(world, rank, process)
+        def body(actor: Actor, rank: int):
+            mpi = Smpi(world, rank, actor)
             world.ranks[rank] = mpi
             func(mpi, *args, **kwargs)
 
         for rank in range(self.num_ranks):
-            self.env.create_process(f"rank-{rank}", self.rank_hosts[rank],
-                                    body, rank)
-        return self.env.run(until)
+            self.engine.add_actor(f"rank-{rank}", self.rank_hosts[rank],
+                                  body, rank)
+        return self.engine.run(until)
 
     @property
     def now(self) -> float:
-        return self.env.now
+        return self.engine.now

@@ -21,7 +21,7 @@ import time
 from typing import Iterator, Optional
 
 from repro.gras.bench import BenchRecorder
-from repro.msg.process import Process
+from repro.s4u.actor import Actor
 
 __all__ = ["SmpiSampler"]
 
@@ -29,14 +29,14 @@ __all__ = ["SmpiSampler"]
 class SmpiSampler:
     """Per-rank sampling helper injected in rank code as ``mpi.sampler``."""
 
-    def __init__(self, process: Process,
+    def __init__(self, actor: Actor,
                  reference_speed: Optional[float] = None) -> None:
-        self._process = process
+        self._actor = actor
         self.recorder = BenchRecorder()
         #: Speed (flop/s) of the machine the real measurements were taken
         #: on.  Defaults to the simulated host's own speed, meaning "the
         #: benchmark ran on this very machine".
-        self.reference_speed = reference_speed or process.host.speed
+        self.reference_speed = reference_speed or actor.host.speed
 
     @contextlib.contextmanager
     def bench_once(self, key: str) -> Iterator[bool]:
@@ -70,10 +70,10 @@ class SmpiSampler:
     def charge_flops(self, flops: float) -> None:
         """Directly charge a known amount of computation to this rank."""
         if flops > 0:
-            self._process.execute(flops, name="smpi-kernel")
+            self._actor.execute(flops, name="smpi-kernel")
 
     def _charge(self, duration: float) -> None:
         if duration <= 0:
             return
         flops = duration * self.reference_speed
-        self._process.execute(flops, name="smpi-bench")
+        self._actor.execute(flops, name="smpi-bench")

@@ -30,8 +30,8 @@ class Interval:
 class Recorder:
     """Collects intervals and point events during a simulation.
 
-    Attach an instance to an :class:`~repro.msg.environment.Environment`
-    (``Environment(platform, recorder=recorder)``) and it will receive one
+    Attach an instance to an :class:`~repro.s4u.engine.Engine`
+    (``Engine(platform, recorder=recorder)``) and it will receive one
     interval per completed computation and communication.
     """
 

@@ -1,0 +1,159 @@
+"""The MSG demotion contract: deprecated shim, s4u-only internal layers.
+
+Three guarantees, matching the deprecation policy in ``ROADMAP.md``:
+
+1. importing :mod:`repro.msg` emits **exactly one** ``DeprecationWarning``
+   (once per process — the shim stays usable, it just announces itself);
+2. merely importing :mod:`repro` (or its s4u/GRAS/SMPI/AMOK layers) does
+   *not* import the shim — the legacy top-level names (``Environment``,
+   ``Process``, ``Task``) resolve lazily;
+3. the ported layers (``repro.gras``, ``repro.smpi``, ``repro.amok``)
+   contain no ``repro.msg`` import in their source, so none can silently
+   re-grow an MSG dependency (the tier-1 warning filter alone cannot catch
+   this, because the intentional shim warning is ignored there).
+"""
+
+import importlib
+import os
+import re
+import subprocess
+import sys
+import warnings
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+
+
+def _fresh_import_msg():
+    """Re-import repro.msg from scratch, returning the warnings captured.
+
+    The original module objects are restored afterwards so class identities
+    seen by the rest of the suite are unaffected.
+    """
+    saved = {name: module for name, module in sys.modules.items()
+             if name == "repro.msg" or name.startswith("repro.msg.")}
+    import repro
+    saved_attr = getattr(repro, "msg", None)
+    for name in saved:
+        del sys.modules[name]
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro.msg")
+        return caught
+    finally:
+        for name in [n for n in sys.modules
+                     if n == "repro.msg" or n.startswith("repro.msg.")]:
+            del sys.modules[name]
+        sys.modules.update(saved)
+        if saved_attr is not None:
+            repro.msg = saved_attr
+
+
+class TestDeprecationWarning:
+    def test_importing_msg_emits_exactly_one_deprecation_warning(self):
+        caught = _fresh_import_msg()
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "repro.msg is deprecated" in str(w.message)]
+        assert len(deprecations) == 1
+        assert "repro.s4u" in str(deprecations[0].message)
+
+    def test_cached_reimport_is_silent(self):
+        importlib.import_module("repro.msg")        # ensure cached
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro.msg")
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_shim_still_simulates_after_warning(self):
+        """The deprecated shim keeps working (dates covered by test_msg_*)."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.msg import Environment, Task
+        from repro.platform import make_star
+        env = Environment(make_star(num_hosts=2))
+        final = {}
+
+        def sender(proc):
+            yield proc.send(Task("ping", data_size=1e6), "box")
+
+        def receiver(proc):
+            task = yield proc.receive("box")
+            final["name"] = task.name
+
+        env.create_process("sender", "leaf-0", sender)
+        env.create_process("receiver", "leaf-1", receiver)
+        assert env.run() > 0
+        assert final["name"] == "ping"
+
+
+class TestLazyLegacyNames:
+    def test_importing_repro_does_not_import_msg(self):
+        """``import repro`` (and the ported layers) must not pull the shim.
+
+        Run in a subprocess with DeprecationWarning escalated to an error:
+        if any import in the chain touched repro.msg, the interpreter
+        would die on the shim's warning.
+        """
+        code = ("import repro, repro.gras, repro.smpi, repro.amok, sys; "
+                "assert 'repro.msg' not in sys.modules, 'shim was imported'")
+        env = dict(os.environ,
+                   PYTHONPATH=SRC + os.pathsep + os.environ.get("PYTHONPATH", ""))
+        result = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning", "-c", code],
+            capture_output=True, text=True, env=env)
+        assert result.returncode == 0, result.stderr
+
+    def test_legacy_top_level_names_resolve_to_the_shim(self):
+        import repro
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.msg import Environment, Process, Task
+        assert repro.Environment is Environment
+        assert repro.Process is Process
+        assert repro.Task is Task
+        assert "Environment" in dir(repro)
+
+    def test_unknown_attribute_still_raises(self):
+        import repro
+        try:
+            repro.NoSuchThing
+        except AttributeError as exc:
+            assert "NoSuchThing" in str(exc)
+        else:
+            raise AssertionError("expected AttributeError")
+
+
+class TestNoMsgImportsInPortedLayers:
+    def test_no_msg_imports_in_ported_layers(self):
+        """grep-equivalent: gras/smpi/amok never depend on repro.msg.
+
+        Catches every spelling: ``from repro.msg import ...``,
+        ``import repro.msg``, ``from repro import msg`` and the lazy
+        legacy aliases (``from repro import Environment/Process/Task``),
+        which would pull the shim just the same.
+        """
+        pattern = re.compile(
+            r"^\s*(?:from\s+repro\.msg\b|import\s+repro\.msg\b"
+            r"|from\s+repro\s+import\s+[^#\n]*"
+            r"\b(?:msg|Environment|Process|ProcessState|Task)\b)",
+            re.MULTILINE)
+        offenders = []
+        scanned = 0
+        for layer in ("gras", "smpi", "amok"):
+            root = os.path.join(SRC, "repro", layer)
+            assert os.path.isdir(root), f"missing ported layer {root}"
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for filename in filenames:
+                    if not filename.endswith(".py"):
+                        continue
+                    scanned += 1
+                    path = os.path.join(dirpath, filename)
+                    with open(path, encoding="utf-8") as fh:
+                        if pattern.search(fh.read()):
+                            offenders.append(os.path.relpath(path, SRC))
+        assert scanned > 10, "suspiciously few files scanned"
+        assert not offenders, (
+            f"repro.msg imports crept back into ported layers: {offenders}")
