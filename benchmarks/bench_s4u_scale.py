@@ -15,7 +15,11 @@ through the async s4u primitives.  Four workloads live here:
   cancellation and selective re-solve paths at scale;
 * **S4 actor churn** (:func:`run_actor_churn`) — a spawner creating waves
   of short-lived actors that compute, report to a sink and die, exercising
-  dynamic actor creation/teardown and join.
+  dynamic actor creation/teardown and join;
+* **S5 failure churn** (:func:`run_failure_churn`) — a master/worker fleet
+  surviving seeded host churn: a :class:`~repro.s4u.failure.FailureInjector`
+  keeps killing random worker hosts mid-work while ``auto_restart`` reboots
+  the workers on restore, until the sink has collected every result.
 
 :func:`run_smpi_scale` additionally drives the ported SMPI layer (eager
 detached puts + per-rank mailbox drain, no task wrappers) at scale so the
@@ -269,6 +273,78 @@ def run_actor_churn(waves: int = 10, actors_per_wave: int = 100,
     }
 
 
+def run_failure_churn(num_workers: int = 64, results_target: int = 2000,
+                      flops: float = 1e6, msg_bytes: float = 1e3,
+                      seed: int = 42, mtbf: float = 0.002,
+                      mean_downtime: float = 0.01,
+                      max_failures: int = 200) -> dict:
+    """S5: a master/worker fleet surviving seeded host churn.
+
+    ``num_workers`` auto-restart workers (daemons, so only the sink keeps
+    the simulation alive) loop compute-then-report forever; a seeded
+    :class:`FailureInjector` keeps turning random worker hosts off and back
+    on.  Dead workers lose their in-flight work, the sink shrugs off the
+    failed transfers, restored hosts reboot their workers — the run ends
+    when the sink banked ``results_target`` results, however much churn it
+    took.  Reported: events/s (results + failures + restarts) and the churn
+    counters.
+    """
+    from repro.exceptions import TransferFailureError
+    from repro.s4u import FailureInjector
+
+    platform = make_star(num_hosts=num_workers, host_speed=1e9,
+                         link_bandwidth=125e6, link_latency=1e-4)
+    engine = Engine(platform)
+    received = [0]
+
+    def sink(actor):
+        box = engine.mailbox("sink")
+        while received[0] < results_target:
+            try:
+                yield box.get()
+                received[0] += 1
+            except TransferFailureError:
+                # The matched worker's host died mid-transfer; re-post.
+                continue
+
+    def worker(actor, index):
+        box = engine.mailbox("sink")
+        while True:
+            yield actor.execute(flops)
+            yield box.put(index, size=msg_bytes)
+
+    engine.add_actor("sink", "center", sink)
+    for i in range(num_workers):
+        engine.add_actor(f"worker-{i}", f"leaf-{i}", worker, i,
+                         daemon=True, auto_restart=True)
+
+    injector = FailureInjector(
+        engine, seed=seed, hosts=[f"leaf-{i}" for i in range(num_workers)],
+        mtbf=mtbf, mean_downtime=mean_downtime, max_failures=max_failures)
+    injector.start()
+
+    start = time.perf_counter()
+    simulated = engine.run()
+    wall = time.perf_counter() - start
+
+    if received[0] != results_target:
+        raise AssertionError(
+            f"sink banked {received[0]} of {results_target} results")
+
+    events = results_target + injector.failures + engine.restart_count
+    return {
+        "simulated_time_s": simulated,
+        "wall_clock_s": wall,
+        "peak_actors": num_workers + 1,
+        "events": events,
+        "events_per_s": events / wall if wall > 0 else float("inf"),
+        "failures": injector.failures,
+        "restores": injector.restores,
+        "restarts": engine.restart_count,
+        "lmm": solver_stats(engine),
+    }
+
+
 def run_smpi_scale(num_ranks: int = 32, rounds: int = 4,
                    msg_bytes: int = 100_000) -> dict:
     """SMPI at scale: ring exchanges + allreduces over the ported layer.
@@ -322,6 +398,13 @@ def test_s1_thousand_actor_fleet():
     # drains sequentially but transfers are tiny, so the makespan stays
     # near the per-worker critical path regardless of the fleet size.
     assert 0.1 <= result["simulated_time_s"] < 2.0
+
+
+def test_s5_failure_churn_fleet_survives():
+    """Tier-2 acceptance: >= 50 host failures, zero lost results."""
+    result = run_failure_churn(num_workers=64, results_target=1920)
+    assert result["failures"] >= 50
+    assert result["restarts"] > 0
 
 
 if __name__ == "__main__":

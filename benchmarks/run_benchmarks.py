@@ -100,6 +100,20 @@ def _s4u_churn(size):
     }
 
 
+def _failure_churn(size):
+    from bench_s4u_scale import run_failure_churn
+    result = run_failure_churn(num_workers=size, results_target=size * 30)
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "events": result["events"],
+        "failures": result["failures"],
+        "restores": result["restores"],
+        "restarts": result["restarts"],
+        "lmm": result["lmm"],
+    }
+
+
 def _smpi_scale(size):
     from bench_s4u_scale import run_smpi_scale
     result = run_smpi_scale(num_ranks=size)
@@ -163,6 +177,7 @@ SCENARIOS = {
     "s4u_pipeline": (_s4u_pipeline, (100, 250), (25,)),
     "s4u_race": (_s4u_race, (500, 1000), (100,)),
     "s4u_churn": (_s4u_churn, (100, 250), (25,)),
+    "failure_churn": (_failure_churn, (64, 256), (16,)),
     "smpi_scale": (_smpi_scale, (16, 32, 64), (8,)),
     "maxmin_random_solve": (_maxmin_random_solve, (800, 3200), (200,)),
     "smpi_matmul": (_smpi_matmul, (2, 4, 8), (2,)),

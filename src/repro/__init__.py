@@ -53,7 +53,9 @@ from repro.s4u import (
     Comm,
     Engine,
     Exec,
+    FailureInjector,
     Host,
+    Link,
     Mailbox,
     Sleep,
     this_actor,
@@ -126,9 +128,11 @@ __all__ = [
     "Engine",
     "Environment",
     "Exec",
+    "FailureInjector",
     "GanttChart",
     "Host",
     "HostFailureError",
+    "Link",
     "Mailbox",
     "MaxMinSystem",
     "MpiError",

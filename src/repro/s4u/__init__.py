@@ -50,7 +50,9 @@ from repro.s4u.activity import (
 )
 from repro.s4u.actor import Actor, ActorState, current_actor
 from repro.s4u.engine import Engine
+from repro.s4u.failure import FailureInjector
 from repro.s4u.host import Host
+from repro.s4u.link import Link
 from repro.s4u.mailbox import Mailbox
 
 __all__ = [
@@ -62,7 +64,9 @@ __all__ = [
     "Comm",
     "Engine",
     "Exec",
+    "FailureInjector",
     "Host",
+    "Link",
     "Mailbox",
     "Sleep",
     "current_actor",

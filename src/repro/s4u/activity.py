@@ -177,11 +177,6 @@ class Exec(Activity):
         self.priority = priority
         self.bound = bound
 
-    @property
-    def process(self) -> "Actor":
-        """MSG-era alias of :attr:`actor`."""
-        return self.actor
-
 
 class Comm(Activity):
     """A payload transfer through a mailbox.
@@ -229,23 +224,6 @@ class Comm(Activity):
         self._resolved().detached = True
         return self
 
-    # -- MSG-era aliases ---------------------------------------------------------------
-    @property
-    def task(self) -> Any:
-        return self._resolved().payload
-
-    @task.setter
-    def task(self, value: Any) -> None:
-        self._resolved().payload = value
-
-    @property
-    def src_process(self) -> Optional["Actor"]:
-        return self._resolved().src_actor
-
-    @property
-    def dst_process(self) -> Optional["Actor"]:
-        return self._resolved().dst_actor
-
     @property
     def src_host(self) -> Optional["Host"]:
         src = self._resolved().src_actor
@@ -267,11 +245,6 @@ class Sleep(Activity):
         self.actor = actor
         self.duration = duration
         self._timer = None
-
-    @property
-    def process(self) -> "Actor":
-        """MSG-era alias of :attr:`actor`."""
-        return self.actor
 
 
 class ActivitySet:

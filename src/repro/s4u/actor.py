@@ -70,7 +70,7 @@ class Actor:
 
     def __init__(self, engine: "Engine", name: str, host: "Host",
                  func, args: tuple = (), kwargs: Optional[dict] = None,
-                 daemon: bool = False) -> None:
+                 daemon: bool = False, auto_restart: bool = False) -> None:
         self.engine = engine
         self.name = name
         self.host = host
@@ -78,6 +78,9 @@ class Actor:
         self.args = args
         self.kwargs = kwargs or {}
         self.daemon = daemon
+        #: Reboot this actor (fresh body, same function/arguments) when its
+        #: failed host is restored (see ``Engine.restore_host``).
+        self.auto_restart = auto_restart
         self.pid = next(_pids)
         self.state = ActorState.CREATED
         self.context: Optional[Context] = None
@@ -91,6 +94,10 @@ class Actor:
         self._suspended = False
         self._parked_resume: Optional[tuple] = None
         self._joiners: List["Actor"] = []
+        self._on_exit_callbacks: List[Any] = []
+        #: How the actor died (False = body returned normally); only
+        #: meaningful once the actor is DEAD.
+        self._exit_failed = False
         self.exit_status: Optional[BaseException] = None
 
     # ------------------------------------------------------------------------------
@@ -112,6 +119,23 @@ class Actor:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"{type(self).__name__}(pid={self.pid}, name={self.name!r}, "
                 f"host={self.host.name!r}, state={self.state})")
+
+    def on_exit(self, callback) -> "Actor":
+        """Register ``callback(failed)`` to run when this actor terminates.
+
+        Mirrors S4U's ``Actor::on_exit``: the callback fires exactly once,
+        whether the body returned normally (``failed=False``) or the actor
+        was killed — explicitly or by a host failure (``failed=True``).  It
+        runs in kernel context, so it must not block (no simcalls); use it
+        for cleanup and accounting.  Returns the actor so calls chain.
+        """
+        if not callable(callback):
+            raise TypeError("on_exit needs a callable")
+        if self.state == ActorState.DEAD:
+            callback(self._exit_failed)
+            return self
+        self._on_exit_callbacks.append(callback)
+        return self
 
     # ------------------------------------------------------------------------------
     # simcall submission

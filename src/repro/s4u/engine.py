@@ -46,9 +46,11 @@ from repro.s4u import actor as _actor_mod
 from repro.s4u.activity import Activity, ActivityState, Comm, Exec, Sleep
 from repro.s4u.actor import Actor, ActorState
 from repro.s4u.host import Host
+from repro.s4u.link import Link
 from repro.s4u.mailbox import Mailbox
 from repro.platform.platform import Platform
 from repro.surf.cpu import CpuResource
+from repro.surf.network import LinkResource
 
 __all__ = ["Engine"]
 
@@ -92,6 +94,12 @@ class Engine:
         self._host_by_cpu: Dict[int, Host] = {
             id(host.cpu): host for host in self.hosts.values()}
 
+        self.links: Dict[str, Link] = {}
+        for name, resource in platform.link_by_name.items():
+            self.links[name] = Link(self, resource)
+        self._link_by_resource: Dict[int, Link] = {
+            id(link.resource): link for link in self.links.values()}
+
         self.mailboxes: Dict[str, Mailbox] = {}
         self.actors: List[Actor] = []
         self.timers = TimerQueue()
@@ -103,6 +111,13 @@ class Engine:
         self._alive_actors: Dict[Actor, None] = {}
         self._active_comms: set = set()
         self._deadlocked = False
+        # Failure-model bookkeeping: observers of resource state flips and
+        # the actors awaiting an auto-restart of their failed host.
+        self._host_state_listeners: List[Callable[[Host, bool], None]] = []
+        self._link_state_listeners: List[Callable[[Link, bool], None]] = []
+        self._pending_restarts: Dict[Host, List[Tuple]] = {}
+        #: Number of actors rebooted by the auto-restart machinery.
+        self.restart_count = 0
 
     # ------------------------------------------------------------------------------
     # world accessors
@@ -132,6 +147,13 @@ class Engine:
         """Alias of :meth:`host` (``Engine.host_by_name``)."""
         return self.host(name)
 
+    def link_by_name(self, name: str) -> Link:
+        """Lookup a link by name (S4U ``Link::by_name``)."""
+        try:
+            return self.links[name]
+        except KeyError:
+            raise PlatformError(f"unknown link {name!r}") from None
+
     def mailbox(self, name: str) -> Mailbox:
         """Get (or lazily create) a mailbox by name."""
         box = self.mailboxes.get(name)
@@ -144,17 +166,20 @@ class Engine:
     # actor management (engine-level API)
     # ------------------------------------------------------------------------------
     def add_actor(self, name: str, host: Union[str, Host], func: Callable,
-                  *args, daemon: bool = False,
+                  *args, daemon: bool = False, auto_restart: bool = False,
                   actor_cls: Optional[Type[Actor]] = None,
                   **kwargs) -> Actor:
         """Create a simulated actor and make it runnable immediately.
 
-        ``actor_cls`` lets the compat layers (MSG) inject their actor
-        subclass so the bodies receive the API object they expect.
+        ``auto_restart`` actors are rebooted (fresh body, same function and
+        arguments) when their failed host is restored; ``actor_cls`` lets
+        the compat layers (MSG) inject their actor subclass so the bodies
+        receive the API object they expect.
         """
         host_obj = host if isinstance(host, Host) else self.host(host)
         cls = actor_cls or Actor
-        actor = cls(self, name, host_obj, func, args, kwargs, daemon=daemon)
+        actor = cls(self, name, host_obj, func, args, kwargs, daemon=daemon,
+                    auto_restart=auto_restart)
         actor.context = self.context_factory.create(
             func, (actor, *args), kwargs)
         actor.context.start()
@@ -181,6 +206,8 @@ class Engine:
 
     def fail_host(self, host: Host) -> None:
         """Turn a host off: its activities fail, its actors are killed."""
+        if not host.is_on:
+            return
         failed = self.surf.fail_host(host.cpu)
         for action in failed:
             activity = action.data
@@ -189,8 +216,58 @@ class Engine:
         self._on_host_down(host)
 
     def restore_host(self, host: Host) -> None:
-        """Turn a failed host back on."""
+        """Turn a failed host back on, rebooting its auto-restart actors."""
+        if host.is_on:
+            return
         self.surf.restore_host(host.cpu)
+        self._on_host_up(host)
+
+    def fail_link(self, link: Union[str, Link]) -> None:
+        """Turn a link off: every transfer crossing it fails."""
+        link_obj = link if isinstance(link, Link) else self.link_by_name(link)
+        if not link_obj.is_on:
+            return
+        failed = self.surf.fail_link(link_obj.resource)
+        for action in failed:
+            activity = action.data
+            if isinstance(activity, Activity):
+                self._finish_activity(activity, ActivityState.FAILED)
+        self._notify_link_state(link_obj, False)
+
+    def restore_link(self, link: Union[str, Link]) -> None:
+        """Turn a failed link back on."""
+        link_obj = link if isinstance(link, Link) else self.link_by_name(link)
+        if link_obj.is_on:
+            return
+        self.surf.restore_link(link_obj.resource)
+        self._notify_link_state(link_obj, True)
+
+    # -- resource state observers -------------------------------------------------------
+    def on_host_state_change(self, callback: Callable[[Host, bool], None]
+                             ) -> Callable[[Host, bool], None]:
+        """Register ``callback(host, is_on)``, fired on every host flip.
+
+        Fired for explicit ``turn_off``/``turn_on`` calls and for
+        state-trace events alike, after the failure (or restart) side
+        effects were applied.  Returns the callback so it can be used as a
+        decorator.
+        """
+        self._host_state_listeners.append(callback)
+        return callback
+
+    def on_link_state_change(self, callback: Callable[[Link, bool], None]
+                             ) -> Callable[[Link, bool], None]:
+        """Register ``callback(link, is_on)``, fired on every link flip."""
+        self._link_state_listeners.append(callback)
+        return callback
+
+    def _notify_host_state(self, host: Host, is_on: bool) -> None:
+        for callback in self._host_state_listeners:
+            callback(host, is_on)
+
+    def _notify_link_state(self, link: Link, is_on: bool) -> None:
+        for callback in self._link_state_listeners:
+            callback(link, is_on)
 
     # ------------------------------------------------------------------------------
     # the main loop
@@ -295,10 +372,18 @@ class Engine:
 
     def _handle_state_changes(self, state_changes) -> None:
         for resource, is_on in state_changes:
-            if isinstance(resource, CpuResource) and not is_on:
+            if isinstance(resource, CpuResource):
                 host = self._host_by_cpu.get(id(resource))
-                if host is not None:
+                if host is None:
+                    continue
+                if is_on:
+                    self._on_host_up(host)
+                else:
                     self._on_host_down(host)
+            elif isinstance(resource, LinkResource):
+                link = self._link_by_resource.get(id(resource))
+                if link is not None:
+                    self._notify_link_state(link, is_on)
 
     def _on_host_down(self, host: Host) -> None:
         # Fail every started communication touching this host.
@@ -309,10 +394,26 @@ class Engine:
                 if comm.surf_action is not None and comm.surf_action.is_running():
                     comm.surf_action.cancel(self.now)
                 self._finish_activity(comm, ActivityState.FAILED)
-        # Kill every actor running on this host.
+        # Kill every actor running on this host, remembering the ones to
+        # reboot when the host comes back (in their creation order).
         for actor in list(host.actors):
             if actor.is_alive:
+                if actor.auto_restart:
+                    self._pending_restarts.setdefault(host, []).append(
+                        (actor.name, actor.func, actor.args, actor.kwargs,
+                         actor.daemon, type(actor)))
                 self._kill_actor(actor)
+        self._notify_host_state(host, False)
+
+    def _on_host_up(self, host: Host) -> None:
+        for (name, func, args, kwargs, daemon,
+             actor_cls) in self._pending_restarts.pop(host, []):
+            self.restart_count += 1
+            self.add_actor(name, host, func, *args, daemon=daemon,
+                           auto_restart=True, actor_cls=actor_cls, **kwargs)
+        # Listeners observe the flip after the reboot side effects, like
+        # the down-notification follows the kills.
+        self._notify_host_state(host, True)
 
     # ------------------------------------------------------------------------------
     # simcall handling
@@ -431,11 +532,21 @@ class Engine:
         comm = self._post_send(actor, call.mailbox, call.payload, call.size,
                                call.rate, detached=False,
                                priority=call.priority, name=call.name)
+        if comm.is_over():
+            # Matching can terminate the comm synchronously (the route was
+            # broken): wake the caller now, it never became a waiter.
+            value, exc = self._activity_result(actor, comm)
+            self._enqueue(actor, value, exc)
+            return
         comm.add_waiter(actor)
         self._block_on(actor, "send", [comm], timeout=call.timeout)
 
     def _do_recv(self, actor: Actor, call: RecvCall) -> None:
         comm = self._post_recv(actor, call.mailbox, call.rate)
+        if comm.is_over():
+            value, exc = self._activity_result(actor, comm)
+            self._enqueue(actor, value, exc)
+            return
         comm.add_waiter(actor)
         self._block_on(actor, "recv", [comm], timeout=call.timeout)
 
@@ -523,6 +634,12 @@ class Engine:
         hook = getattr(comm.payload, "_on_comm_start", None)
         if hook is not None:
             hook(comm)
+        if not action.is_running():
+            # A link of the route was already down when the rendezvous
+            # matched: the model failed the action synchronously, so it will
+            # never surface through a step result — report it here.
+            self._finish_activity(comm, ActivityState.FAILED)
+            return
         self._active_comms.add(comm)
 
     # -- deferred (``*_init``) activities ---------------------------------------------------
@@ -895,7 +1012,7 @@ class Engine:
             return
         self._detach_from_waits(target)
         target.context.kill()
-        self._terminate_actor(target)
+        self._terminate_actor(target, failed=True)
 
     def _detach_from_waits(self, target: Actor) -> None:
         if target._wait_timer is not None:
@@ -930,10 +1047,11 @@ class Engine:
         target._wait_owner = None
         target._wait_timer = None
 
-    def _terminate_actor(self, actor: Actor) -> None:
+    def _terminate_actor(self, actor: Actor, failed: bool = False) -> None:
         if actor.state == ActorState.DEAD:
             return
         actor.state = ActorState.DEAD
+        actor._exit_failed = failed
         self._alive_actors.pop(actor, None)
         try:
             actor.host.actors.remove(actor)
@@ -946,3 +1064,8 @@ class Engine:
                 self._clear_wait(joiner)
                 self._enqueue(joiner, None)
         actor._joiners = []
+        # on_exit callbacks run in kernel context (no blocking simcalls);
+        # ``failed`` is False only when the body returned normally.
+        callbacks, actor._on_exit_callbacks = actor._on_exit_callbacks, []
+        for callback in callbacks:
+            callback(failed)

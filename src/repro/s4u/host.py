@@ -79,7 +79,7 @@ class Host:
         self._engine.fail_host(self)
 
     def turn_on(self) -> None:
-        """Bring a failed host back up (does not restart actors)."""
+        """Bring a failed host back up (reboots its auto-restart actors)."""
         self._engine.restore_host(self)
 
     def compute_duration(self, flops: float) -> float:

@@ -252,6 +252,22 @@ class SurfEngine:
         """Turn a failed CPU back on."""
         cpu.turn_on()
 
+    def fail_link(self, link: LinkResource,
+                  now: Optional[float] = None) -> List[Action]:
+        """Immediately fail a link (explicit ``link.turn_off()``).
+
+        Every transfer whose route crosses the link fails, including
+        transfers still paying their route latency (their zero-weight LMM
+        variable keeps them registered on the link's constraint).
+        """
+        date = self.clock if now is None else now
+        link.turn_off()
+        return self.network_model.fail_actions_on(link, date)
+
+    def restore_link(self, link: LinkResource) -> None:
+        """Turn a failed link back on."""
+        link.turn_on()
+
     def run_until_idle(self, max_time: float = math.inf) -> float:
         """Convenience loop for model-level tests: run until nothing remains.
 

@@ -150,6 +150,32 @@ class NetworkModel(FluidModel):
     def resources(self) -> List[LinkResource]:
         return list(self.links.values())
 
+    # -- dynamic reconfiguration ---------------------------------------------------
+    def set_link_bandwidth(self, link: LinkResource, bandwidth: float) -> None:
+        """Change a link's nominal bandwidth at runtime.
+
+        ``bandwidth`` is the raw (unfactored) value, like :meth:`add_link`
+        takes; the model's ``bandwidth_factor`` is applied here.  The change
+        flows to running transfers through the constraint-capacity write
+        path, so the selective solve re-shares only the flows crossing this
+        link.
+        """
+        if bandwidth <= 0:
+            raise ValueError(f"link {link.name!r}: bandwidth must be > 0")
+        link.bandwidth = bandwidth * self.config.bandwidth_factor
+        link.set_peak_capacity(link.bandwidth)
+
+    def set_link_latency(self, link: LinkResource, latency: float) -> None:
+        """Change a link's latency at runtime.
+
+        Only transfers *started after* the change see the new value: a
+        transfer's route latency (and its TCP window bound) is computed once
+        when the communication starts, exactly like SimGrid.
+        """
+        if latency < 0:
+            raise ValueError(f"link {link.name!r}: latency must be >= 0")
+        link.latency = float(latency)
+
     # -- action creation -----------------------------------------------------------
     def communicate(self, links: Sequence[LinkResource], size: float,
                     extra_latency: float = 0.0,

@@ -70,6 +70,18 @@ class Resource:
             self._system.update_constraint_capacity(
                 self.constraint, self.current_capacity)
 
+    def set_peak_capacity(self, capacity: float) -> None:
+        """Change the nominal capacity of the resource at runtime.
+
+        The new value reaches the solver through
+        ``update_constraint_capacity`` — the one write path the selective
+        solve tracks — so only the affected component is re-solved.
+        """
+        if capacity < 0:
+            raise ValueError(f"resource {self.name!r}: capacity must be >= 0")
+        self.peak_capacity = float(capacity)
+        self._push_capacity()
+
     # -- trace / failure handling --------------------------------------------------
     def set_availability(self, factor: float) -> None:
         """Set the availability factor (usually from a trace event)."""

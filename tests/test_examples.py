@@ -79,6 +79,18 @@ class TestP2pFilesharing:
         assert "switching" in out          # the failed seed was abandoned
 
 
+class TestFailureChurn:
+    def test_fleet_survives_and_reports(self, capsys):
+        module = load_example("failure_churn")
+        outcome = module.run(seed=42)
+        out = capsys.readouterr().out
+        assert outcome["received"] == module.RESULTS_TARGET
+        assert outcome["failures"] > 0
+        assert outcome["restarts"] > 0
+        assert "DOWN" in out and "back up" in out
+        assert "all 400 results collected" in out
+
+
 class TestAmokMonitoring:
     def test_two_sites_inferred(self, capsys):
         module = load_example("amok_monitoring")

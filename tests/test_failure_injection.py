@@ -1,0 +1,495 @@
+"""Failure subsystem: s4u Link control, actor lifecycle, edge cases.
+
+Covers the PR-4 fault-tolerance layer:
+
+* the :class:`~repro.s4u.link.Link` endpoints (``link_by_name``,
+  ``turn_off``/``turn_on``, ``set_bandwidth``/``set_latency``) and their
+  effect on running transfers;
+* actor lifecycle hooks — ``on_exit`` callbacks and ``auto_restart``
+  reboots, with the ``Engine.on_host_state_change`` observer signals;
+* the failure edge cases: a peer dying before the rendezvous matches, an
+  exec whose host dies and comes back, ``ActivitySet.wait_any`` reaping a
+  FAILED member, and the equivalence of a periodic state trace with the
+  same pulses applied as explicit ``turn_off``/``turn_on`` calls.
+"""
+
+import math
+
+import pytest
+
+from repro import s4u
+from repro.exceptions import (
+    HostFailureError,
+    PlatformError,
+    SimTimeoutError,
+    TransferFailureError,
+)
+from repro.platform import make_star
+from repro.platform.platform import Platform
+from repro.s4u import ActivitySet, ActivityState, FailureInjector
+from repro.surf.trace import Trace
+
+
+def two_host_platform(bandwidth=1e7, latency=1e-3, speed=1e9):
+    platform = Platform("pair")
+    platform.add_host("alice", speed)
+    platform.add_host("bob", speed)
+    platform.add_link("wire", bandwidth, latency)
+    platform.connect("alice", "bob", "wire")
+    return platform
+
+
+class TestLinkApi:
+    def test_link_by_name_and_lookup_error(self):
+        engine = s4u.Engine(two_host_platform())
+        link = engine.link_by_name("wire")
+        assert link.name == "wire"
+        assert link.bandwidth == 1e7
+        assert link.latency == 1e-3
+        assert link.is_on
+        with pytest.raises(PlatformError):
+            engine.link_by_name("no-such-link")
+
+    def test_link_failure_fails_both_comm_ends(self):
+        engine = s4u.Engine(two_host_platform())
+        outcome = {}
+
+        def sender(actor):
+            try:
+                yield engine.mailbox("m").put("x", size=1e9)
+            except TransferFailureError:
+                outcome["send"] = engine.now
+
+        def receiver(actor):
+            try:
+                yield engine.mailbox("m").get()
+            except TransferFailureError:
+                outcome["recv"] = engine.now
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "bob", receiver)
+        engine.timers.schedule(0.25, engine.link_by_name("wire").turn_off)
+        engine.run()
+        assert outcome == {"send": 0.25, "recv": 0.25}
+
+    def test_link_failure_during_latency_phase(self):
+        """A transfer still paying the route latency dies with its link."""
+        engine = s4u.Engine(two_host_platform(latency=0.5))
+        outcome = {}
+
+        def sender(actor):
+            try:
+                yield engine.mailbox("m").put("x", size=1e6)
+            except TransferFailureError:
+                outcome["send"] = engine.now
+
+        def receiver(actor):
+            try:
+                yield engine.mailbox("m").get()
+            except TransferFailureError:
+                outcome["recv"] = engine.now
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "bob", receiver)
+        # 0.1 < 0.5: the transfer is still inside its latency phase.
+        engine.timers.schedule(0.1, engine.link_by_name("wire").turn_off)
+        engine.run()
+        assert outcome == {"send": 0.1, "recv": 0.1}
+
+    def test_restored_link_carries_new_transfers(self):
+        engine = s4u.Engine(two_host_platform(latency=0.0))
+        dates = {}
+
+        def sender(actor):
+            try:
+                yield engine.mailbox("m").put("first", size=1e9)
+            except TransferFailureError:
+                pass
+            yield actor.sleep_until(1.0)   # the link is back at t=0.5
+            yield engine.mailbox("m").put("second", size=1e6)
+
+        def receiver(actor):
+            while True:
+                try:
+                    payload = yield engine.mailbox("m").get()
+                except TransferFailureError:
+                    continue
+                dates[payload] = engine.now
+                if payload == "second":
+                    return
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "bob", receiver)
+        link = engine.link_by_name("wire")
+        engine.timers.schedule(0.25, link.turn_off)
+        engine.timers.schedule(0.5, link.turn_on)
+        engine.run()
+        assert "first" not in dates
+        assert dates["second"] == pytest.approx(1.0 + 1e6 / 1e7)
+
+    def test_set_bandwidth_reshapes_running_transfer(self):
+        """Halving the bandwidth mid-flight doubles the remaining time."""
+        engine = s4u.Engine(two_host_platform(bandwidth=1e7, latency=0.0))
+        dates = {}
+
+        def sender(actor):
+            yield engine.mailbox("m").put("x", size=1e7)   # 1 s at 1e7 B/s
+
+        def receiver(actor):
+            yield engine.mailbox("m").get()
+            dates["done"] = engine.now
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "bob", receiver)
+        engine.timers.schedule(
+            0.5, lambda: engine.link_by_name("wire").set_bandwidth(5e6))
+        engine.run()
+        # Half the payload at 1e7 B/s, the other half at 5e6 B/s.
+        assert dates["done"] == pytest.approx(0.5 + 1.0)
+
+    def test_set_latency_only_affects_new_transfers(self):
+        engine = s4u.Engine(two_host_platform(bandwidth=1e9, latency=0.1))
+        dates = {}
+
+        def sender(actor):
+            yield engine.mailbox("m").put("first", size=1.0)
+            yield engine.mailbox("m").put("second", size=1.0)
+
+        def receiver(actor):
+            yield engine.mailbox("m").get()
+            dates["first"] = engine.now
+            engine.link_by_name("wire").set_latency(0.3)
+            yield engine.mailbox("m").get()
+            dates["second"] = engine.now
+
+        engine.add_actor("s", "alice", sender)
+        engine.add_actor("r", "bob", receiver)
+        engine.run()
+        assert dates["first"] == pytest.approx(0.1, rel=1e-6)
+        assert dates["second"] == pytest.approx(0.1 + 0.3, rel=1e-6)
+
+
+class TestActorLifecycle:
+    def test_on_exit_normal_and_killed(self):
+        engine = s4u.Engine(make_star(num_hosts=2))
+        exits = []
+
+        def quick(actor):
+            yield actor.sleep_for(0.1)
+
+        def stubborn(actor):
+            yield actor.sleep_for(100.0)
+
+        def killer(actor, victim):
+            yield actor.sleep_for(0.5)
+            yield victim.kill()
+
+        a = engine.add_actor("quick", "leaf-0", quick)
+        b = engine.add_actor("stubborn", "leaf-0", stubborn)
+        a.on_exit(lambda failed: exits.append(("quick", failed)))
+        b.on_exit(lambda failed: exits.append(("stubborn", failed)))
+        engine.add_actor("killer", "leaf-1", killer, b)
+        engine.run()
+        assert ("quick", False) in exits
+        assert ("stubborn", True) in exits
+
+    def test_on_exit_fires_on_host_failure(self):
+        engine = s4u.Engine(make_star(num_hosts=2))
+        exits = []
+
+        def worker(actor):
+            yield actor.execute(1e12)
+
+        actor = engine.add_actor("w", "leaf-0", worker)
+        actor.on_exit(lambda failed: exits.append(failed))
+        engine.timers.schedule(0.5, engine.host("leaf-0").turn_off)
+        engine.run()
+        assert exits == [True]
+
+    def test_on_exit_on_dead_actor_reports_real_outcome(self):
+        """Late registration fires immediately with how the actor died."""
+        engine = s4u.Engine(make_star(num_hosts=2))
+
+        def clean(actor):
+            yield actor.sleep_for(0.1)
+
+        def doomed(actor):
+            yield actor.execute(1e12)
+
+        a = engine.add_actor("clean", "leaf-0", clean)
+        b = engine.add_actor("doomed", "leaf-1", doomed)
+        engine.timers.schedule(0.5, engine.host("leaf-1").turn_off)
+        engine.run()
+        seen = []
+        a.on_exit(lambda failed: seen.append(("clean", failed)))
+        b.on_exit(lambda failed: seen.append(("doomed", failed)))
+        assert seen == [("clean", False), ("doomed", True)]
+
+    def test_auto_restart_reboots_worker_on_restore(self):
+        engine = s4u.Engine(make_star(num_hosts=2))
+        starts, flips = [], []
+        engine.on_host_state_change(
+            lambda host, is_on: flips.append((host.name, is_on, engine.now)))
+
+        def worker(actor):
+            starts.append(engine.now)
+            yield actor.execute(1e9)        # 1 s alone on a 1e9 host
+            starts.append(("done", engine.now))
+
+        def clock(actor):
+            yield actor.sleep_for(3.0)
+
+        engine.add_actor("w", "leaf-0", worker, auto_restart=True)
+        engine.add_actor("clock", "leaf-1", clock)
+        host = engine.host("leaf-0")
+        engine.timers.schedule(0.25, host.turn_off)
+        engine.timers.schedule(0.75, host.turn_on)
+        engine.run()
+        assert starts == [0.0, 0.75, ("done", 1.75)]
+        assert flips == [("leaf-0", False, 0.25), ("leaf-0", True, 0.75)]
+        assert engine.restart_count == 1
+
+    def test_normal_end_is_not_restarted(self):
+        engine = s4u.Engine(make_star(num_hosts=2))
+        runs = []
+
+        def worker(actor):
+            runs.append(engine.now)
+            yield actor.sleep_for(0.1)
+
+        def clock(actor):
+            yield actor.sleep_for(2.0)
+
+        engine.add_actor("w", "leaf-0", worker, auto_restart=True)
+        engine.add_actor("clock", "leaf-1", clock)
+        host = engine.host("leaf-0")
+        # The worker already finished when the host churns at t=1.
+        engine.timers.schedule(1.0, host.turn_off)
+        engine.timers.schedule(1.5, host.turn_on)
+        engine.run()
+        assert runs == [0.0]
+        assert engine.restart_count == 0
+
+
+class TestFailureEdgeCases:
+    def test_peer_host_dies_before_rendezvous_matches(self):
+        """A pending recv dies with its host; the late sender times out."""
+        engine = s4u.Engine(two_host_platform())
+        outcome = {}
+
+        def receiver(actor):
+            # Posts the recv, then the host dies before any sender shows up.
+            yield engine.mailbox("m").get()
+
+        def sender(actor):
+            yield actor.sleep_for(0.5)     # by now bob is gone
+            try:
+                yield engine.mailbox("m").put("x", size=1e3, timeout=0.5)
+            except SimTimeoutError:
+                outcome["send"] = engine.now
+
+        engine.add_actor("r", "bob", receiver)
+        engine.add_actor("s", "alice", sender)
+        engine.timers.schedule(0.25, engine.host("bob").turn_off)
+        engine.run()
+        assert outcome == {"send": 1.0}
+        # The orphaned recv was withdrawn, not left dangling on the mailbox.
+        assert engine.mailbox("m").empty
+
+    def test_rendezvous_matched_over_broken_route_fails_both_sides(self):
+        """A comm matched while its route link is down fails at match time.
+
+        Regression: the model fails such an action synchronously, so it
+        never surfaces through a step result — the engine must report it
+        from ``_start_comm`` (and wake the sync caller that was about to
+        become a waiter) or both peers deadlock.
+        """
+        engine = s4u.Engine(two_host_platform())
+        outcome = {}
+
+        def receiver(actor):
+            try:
+                yield engine.mailbox("m").get()    # posted before the cut
+            except TransferFailureError:
+                outcome["recv"] = engine.now
+
+        def sender(actor):
+            yield actor.sleep_for(0.5)             # wire died at t=0.25
+            try:
+                yield engine.mailbox("m").put("x", size=1e3)
+            except TransferFailureError:
+                outcome["send"] = engine.now
+
+        engine.add_actor("r", "bob", receiver)
+        engine.add_actor("s", "alice", sender)
+        engine.timers.schedule(0.25, engine.link_by_name("wire").turn_off)
+        engine.run()
+        assert outcome == {"recv": 0.5, "send": 0.5}
+
+    def test_async_rendezvous_over_broken_route_fails(self):
+        """Same as above through put_async/wait and ActivitySet."""
+        engine = s4u.Engine(two_host_platform())
+        outcome = {}
+
+        def receiver(actor):
+            try:
+                yield engine.mailbox("m").get()
+            except TransferFailureError:
+                outcome["recv"] = engine.now
+
+        def sender(actor):
+            yield actor.sleep_for(0.5)
+            comm = yield engine.mailbox("m").put_async("x", size=1e3)
+            assert comm.state is ActivityState.FAILED
+            try:
+                yield comm.wait()
+            except TransferFailureError:
+                outcome["send"] = engine.now
+
+        engine.add_actor("r", "bob", receiver)
+        engine.add_actor("s", "alice", sender)
+        engine.timers.schedule(0.25, engine.link_by_name("wire").turn_off)
+        engine.run()
+        assert outcome == {"recv": 0.5, "send": 0.5}
+
+    def test_exec_on_host_that_dies_and_restores(self):
+        """A remote exec fails at the failure date and succeeds after."""
+        engine = s4u.Engine(make_star(num_hosts=2, host_speed=1e9))
+        log = []
+
+        def runner(actor):
+            remote = engine.host("leaf-1")
+            try:
+                yield actor.execute(2e9, host=remote)   # needs 2 s
+            except HostFailureError:
+                log.append(("failed", engine.now))
+            yield actor.sleep_until(1.5)                # leaf-1 back at 1.0
+            yield actor.execute(1e9, host=remote)
+            log.append(("done", engine.now))
+
+        engine.add_actor("runner", "leaf-0", runner)
+        host = engine.host("leaf-1")
+        engine.timers.schedule(0.5, host.turn_off)
+        engine.timers.schedule(1.0, host.turn_on)
+        engine.run()
+        assert log == [("failed", 0.5), ("done", 2.5)]
+
+    def test_wait_any_returns_failed_activity(self):
+        """wait_any surfaces the failure and still reaps the member."""
+        engine = s4u.Engine(two_host_platform())
+        outcome = {}
+
+        def receiver(actor):
+            yield engine.mailbox("m").get()
+
+        def sender(actor):
+            comm = yield engine.mailbox("m").put_async("x", size=1e9)
+            snooze = yield actor.sleep_async(30.0)
+            pending = ActivitySet([comm, snooze])
+            try:
+                yield pending.wait_any()
+            except TransferFailureError:
+                outcome["date"] = engine.now
+                outcome["comm_state"] = comm.state
+                outcome["reaped"] = comm not in pending
+                outcome["left"] = pending.size()
+            snooze.cancel()
+
+        engine.add_actor("r", "bob", receiver)
+        engine.add_actor("s", "alice", sender)
+        engine.timers.schedule(0.25, engine.host("bob").turn_off)
+        engine.run()
+        assert outcome == {"date": 0.25,
+                           "comm_state": ActivityState.FAILED,
+                           "reaped": True, "left": 1}
+
+    def _churn_dates(self, use_trace):
+        """Worker completion dates under off/on churn of its host.
+
+        ``use_trace=True`` drives the churn with a periodic state trace
+        attached to the platform host; ``use_trace=False`` replays the
+        very same pulses as explicit ``turn_off``/``turn_on`` calls
+        (through FailureInjector.schedule_trace).
+        """
+        trace = Trace([(0.3, 0.0), (0.5, 1.0)], period=0.8, name="churn")
+        horizon = 2.4
+        platform = Platform("churny")
+        platform.add_host("victim", 1e9,
+                          state_trace=trace if use_trace else None)
+        platform.add_host("safe", 1e9)
+        platform.add_link("wire", 1e8, 1e-4)
+        platform.connect("victim", "safe", "wire")
+
+        engine = s4u.Engine(platform)
+        dates = []
+
+        def worker(actor):
+            while True:
+                yield actor.execute(1e8)    # 0.1 s alone
+                dates.append(engine.now)
+
+        def clock(actor):
+            yield actor.sleep_for(horizon)
+
+        engine.add_actor("w", "victim", worker, daemon=True,
+                         auto_restart=True)
+        engine.add_actor("clock", "safe", clock)
+        if not use_trace:
+            injector = FailureInjector(engine, until=horizon)
+            injector.schedule_trace("victim", trace)
+        engine.run()
+        return dates
+
+    def test_state_trace_equals_explicit_turn_off_on(self):
+        """Periodic trace churn and explicit calls give identical dates."""
+        trace_dates = self._churn_dates(use_trace=True)
+        explicit_dates = self._churn_dates(use_trace=False)
+        assert trace_dates, "the churned worker never completed any exec"
+        assert trace_dates == explicit_dates
+
+
+class TestFailureInjector:
+    def test_requires_a_stop_bound(self):
+        engine = s4u.Engine(make_star(num_hosts=2))
+        with pytest.raises(ValueError):
+            FailureInjector(engine, hosts=["leaf-0"])
+
+    def test_requires_targets_to_start(self):
+        engine = s4u.Engine(make_star(num_hosts=2))
+        with pytest.raises(ValueError):
+            FailureInjector(engine, max_failures=1).start()
+
+    def test_schedule_trace_mid_run_is_relative_to_now(self):
+        """Trace dates are offsets from the call date, not absolute."""
+        engine = s4u.Engine(make_star(num_hosts=2))
+        flips = []
+        engine.on_host_state_change(
+            lambda host, is_on: flips.append((is_on, engine.now)))
+        injector = FailureInjector(engine, until=10.0)
+        trace = Trace([(0.3, 0.0), (0.5, 1.0)], name="pulse")
+
+        def clock(actor):
+            yield actor.sleep_for(1.0)   # replay armed at t=1.0, not t=0
+            injector.schedule_trace("leaf-0", trace)
+            yield actor.sleep_for(2.0)
+
+        engine.add_actor("clock", "center", clock)
+        engine.run()
+        assert flips == [(False, 1.3), (True, 1.5)]
+
+    def test_respects_max_failures(self):
+        engine = s4u.Engine(make_star(num_hosts=4))
+
+        def clock(actor):
+            yield actor.sleep_for(50.0)
+
+        engine.add_actor("clock", "center", clock)
+        injector = FailureInjector(
+            engine, seed=1, hosts=[f"leaf-{i}" for i in range(4)],
+            mtbf=0.5, mean_downtime=0.2, max_failures=7)
+        injector.start()
+        engine.run()
+        assert injector.failures == 7
+        # Every injected failure got its restore (the run outlived them).
+        assert injector.restores == 7
+        assert all(engine.host(f"leaf-{i}").is_on for i in range(4))
