@@ -44,16 +44,8 @@ from repro.s4u import ActivitySet, Engine
 
 def solver_stats(engine):
     """Kernel observability counters of both LMM systems."""
-    stats = {}
-    for label, system in (("cpu", engine.surf.cpu_model.system),
-                          ("network", engine.surf.network_model.system)):
-        stats[label] = {
-            "solve_calls": system.solve_calls,
-            "solve_skipped": system.solve_skipped,
-            "constraints_solved": system.constraints_solved,
-            "variables_solved": system.variables_solved,
-        }
-    return stats
+    return {"cpu": engine.surf.cpu_model.solver_stats(),
+            "network": engine.surf.network_model.solver_stats()}
 
 
 def run_fleet(num_workers: int = 1000, rounds: int = 2,

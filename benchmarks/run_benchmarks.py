@@ -5,7 +5,7 @@ Unlike the pytest harnesses in this directory (which print paper-artefact
 tables and assert on simulated results), this runner is about the *perf
 trajectory* of the simulator itself across PRs.  It imports the scenario
 functions directly — no pytest, no plugins — times them, and writes a JSON
-report (``BENCH_PR2.json`` by default) with, per scenario and size:
+report (``BENCH_PR5.json`` by default) with, per scenario and size:
 
 * ``wall_clock_s`` — how long the simulation took for real;
 * ``events_per_s`` — simulated activity completions per wall-clock second,
@@ -17,7 +17,9 @@ Usage::
 
     PYTHONPATH=../src python run_benchmarks.py              # full sweep
     PYTHONPATH=../src python run_benchmarks.py --smoke      # CI smoke sizes
+    PYTHONPATH=../src python run_benchmarks.py --smoke --enforce-budgets
     PYTHONPATH=../src python run_benchmarks.py --only s4u_scale
+    PYTHONPATH=../src python run_benchmarks.py --only s4u_scale --profile
     PYTHONPATH=../src python run_benchmarks.py --output /tmp/bench.json
 
 See README.md in this directory for how to read the output.
@@ -125,17 +127,26 @@ def _smpi_scale(size):
     }
 
 
+def _lmm_counters(system):
+    return {
+        "constraints_solved": system.constraints_solved,
+        "variables_solved": system.variables_solved,
+        "elements_visited": system.elements_visited,
+        "heap_pops": system.heap_pops,
+    }
+
+
 def _maxmin_random_solve(size):
     from bench_maxmin_sharing import large_random_solve
     system = large_random_solve(num_constraints=max(4, size // 4),
                                 num_variables=size)
-    return {
-        "events": size,
-        "lmm": {
-            "constraints_solved": system.constraints_solved,
-            "variables_solved": system.variables_solved,
-        },
-    }
+    return {"events": size, "lmm": _lmm_counters(system)}
+
+
+def _maxmin_dense_bottleneck(size):
+    from bench_maxmin_sharing import dense_bottleneck_solve
+    system = dense_bottleneck_solve(num_variables=size)
+    return {"events": size, "lmm": _lmm_counters(system)}
 
 
 def _smpi_matmul(size):
@@ -179,7 +190,9 @@ SCENARIOS = {
     "s4u_churn": (_s4u_churn, (100, 250), (25,)),
     "failure_churn": (_failure_churn, (64, 256), (16,)),
     "smpi_scale": (_smpi_scale, (16, 32, 64), (8,)),
-    "maxmin_random_solve": (_maxmin_random_solve, (800, 3200), (200,)),
+    "maxmin_random_solve": (_maxmin_random_solve, (800, 3200, 12800), (200,)),
+    "maxmin_dense_bottleneck": (_maxmin_dense_bottleneck,
+                                (800, 3200, 12800), (200,)),
     "smpi_matmul": (_smpi_matmul, (2, 4, 8), (2,)),
     "gantt_clientserver": (_gantt_clientserver, (None,), (None,)),
     "traces_failures": (_traces_failures, (None,), (None,)),
@@ -187,16 +200,53 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name, wrapper, size):
-    start = time.perf_counter()
-    metrics = wrapper(size)
-    wall = time.perf_counter() - start
+#: Per-scenario wall-clock budgets for the ``--smoke`` sizes, in seconds.
+#: Generous multiples of the recorded smoke times (all well under a second
+#: on the lazy kernel, see BENCH_PR5.json) so CI noise never trips them,
+#: but a solver regression that reintroduces per-round rescans still fails
+#: loudly *attributed to the scenario that caused it* instead of only
+#: blowing the job's global timeout.
+SMOKE_BUDGETS_S = {
+    "scalability_processes": 10.0,
+    "s4u_scale": 15.0,
+    "s4u_pipeline": 15.0,
+    "s4u_race": 10.0,
+    "s4u_churn": 10.0,
+    "failure_churn": 20.0,
+    "smpi_scale": 10.0,
+    "maxmin_random_solve": 10.0,
+    "maxmin_dense_bottleneck": 10.0,
+    "smpi_matmul": 15.0,
+    "gantt_clientserver": 10.0,
+    "traces_failures": 10.0,
+    "fluid_flows": 15.0,
+}
+
+
+def run_scenario(name, wrapper, size, profile=False):
+    if profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        metrics = profiler.runcall(wrapper, size)
+        wall = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        metrics = wrapper(size)
+        wall = time.perf_counter() - start
     entry = {"scenario": name, "size": size, "wall_clock_s": round(wall, 4)}
     events = metrics.pop("events", None)
     if events is not None:
         entry["events"] = events
         entry["events_per_s"] = round(events / wall, 1) if wall > 0 else None
     entry.update(metrics)
+    if profile:
+        import pstats
+        print(f"--- profile: {name}"
+              + (f" size={size}" if size is not None else "")
+              + " (top 20 by cumulative time; wall_clock_s includes "
+                "profiler overhead) ---")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
     return entry
 
 
@@ -208,21 +258,36 @@ def main(argv=None):
     parser.add_argument("--only", action="append", default=None,
                         metavar="NAME", choices=sorted(SCENARIOS),
                         help="run only the given scenario (repeatable)")
-    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR2.json"),
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap each scenario in cProfile and print the "
+                             "top-20 cumulative functions (hot-path hunting "
+                             "for perf PRs; timings include the profiler)")
+    parser.add_argument("--enforce-budgets", action="store_true",
+                        help="with --smoke: fail when a scenario exceeds its "
+                             "per-scenario wall-clock budget, naming the "
+                             "offender (CI regression attribution)")
+    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR5.json"),
                         help="path of the JSON report (default: %(default)s)")
     args = parser.parse_args(argv)
 
     names = args.only or sorted(SCENARIOS)
     results = []
+    blown = []
     for name in names:
         wrapper, full_sizes, smoke_sizes = SCENARIOS[name]
         for size in (smoke_sizes if args.smoke else full_sizes):
             label = f"{name}" + (f" size={size}" if size is not None else "")
             print(f"running {label} ...", flush=True)
-            entry = run_scenario(name, wrapper, size)
+            entry = run_scenario(name, wrapper, size, profile=args.profile)
             print(f"  -> wall={entry['wall_clock_s']:.3f}s "
                   + (f"events/s={entry.get('events_per_s')}"
                      if "events_per_s" in entry else ""), flush=True)
+            budget = SMOKE_BUDGETS_S.get(name)
+            if (args.smoke and args.enforce_budgets and budget is not None
+                    and entry["wall_clock_s"] > budget):
+                blown.append((label, entry["wall_clock_s"], budget))
+                print(f"  !! budget blown: {entry['wall_clock_s']:.3f}s "
+                      f"> {budget:.1f}s", flush=True)
             results.append(entry)
 
     report = {
@@ -243,10 +308,21 @@ def main(argv=None):
                     report[key] = previous[key]
         except (OSError, ValueError):
             pass
-    with open(args.output, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.output}")
+    if args.profile and args.output == parser.get_default("output"):
+        # Profiled wall-clocks include the cProfile overhead; never let
+        # them silently clobber the checked-in snapshot.
+        print(f"not writing {args.output}: --profile numbers include the "
+              "profiler overhead (pass --output explicitly to keep them)")
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    if blown:
+        print("per-scenario wall-clock budgets exceeded:")
+        for label, wall, budget in blown:
+            print(f"  {label}: {wall:.3f}s > budget {budget:.1f}s")
+        return 1
     return 0
 
 

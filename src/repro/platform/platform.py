@@ -101,6 +101,11 @@ class Platform:
         self.cpu_by_host: Dict[str, CpuResource] = {}
         self.link_by_name: Dict[str, LinkResource] = {}
         self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+        # name->resource resolution of realized routes, memoized per
+        # endpoint pair: the topology is frozen once realized, so the s4u
+        # comm hot path must not re-resolve link names on every transfer.
+        self._resource_route_cache: Dict[Tuple[str, str],
+                                         List[LinkResource]] = {}
 
     # -- description ------------------------------------------------------------
     def add_host(self, name: str, speed: float, cores: int = 1,
@@ -274,10 +279,21 @@ class Platform:
         return self._realized
 
     def route_resources(self, src: str, dst: str) -> List[LinkResource]:
-        """The realized :class:`LinkResource` objects along a route."""
+        """The realized :class:`LinkResource` objects along a route.
+
+        Memoized per ``(src, dst)``: realization freezes the topology, so
+        the resolved list is computed once and the cached list itself is
+        returned afterwards — callers must treat it as read-only.
+        """
         if not self._realized:
             raise PlatformError("platform not realized yet")
-        return [self.link_by_name[name] for name in self.route_links(src, dst)]
+        key = (src, dst)
+        links = self._resource_route_cache.get(key)
+        if links is None:
+            links = [self.link_by_name[name]
+                     for name in self.route_links(src, dst)]
+            self._resource_route_cache[key] = links
+        return links
 
     def cpu_of(self, host_name: str) -> CpuResource:
         """The realized CPU of a host."""

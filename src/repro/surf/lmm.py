@@ -51,17 +51,63 @@ set of *modified constraints*; :meth:`MaxMinSystem.solve`
 Variables of untouched components keep their previous values, which is
 exactly what a full solve would assign them: in max-min progressive
 filling, disjoint components never interact.
+
+Incremental progressive filling
+-------------------------------
+
+Inside one (dirty) component, the naive filling rescans every element of
+every constraint at every round — O(rounds × constraints × elements),
+quadratic-plus on dense components (many flows sharing one bottleneck
+link, the master/worker saturation shape).  :meth:`_solve_subsystem`
+instead keeps running per-constraint aggregates and a candidate heap, for
+a total of O(E log C) work per sub-solve:
+
+* every shared constraint carries a running ``remaining`` capacity and a
+  running ``sum(usage × weight)`` over its still-unassigned variables,
+  both updated in O(crossed constraints) when a variable freezes;
+* every fat-pipe constraint carries a lazy-deletion min-heap of its
+  (static) per-element saturation levels;
+* candidate saturation levels live in one version-stamped lazy-deletion
+  heap (the same invalidation trick :class:`~repro.surf.model.FluidModel`
+  uses for its completion-event heap): mutating a constraint bumps its
+  version and pushes a fresh entry, stale entries are dropped when they
+  surface;
+* bounded variables sit in the same heap through static ``bound/weight``
+  entries;
+* membership of the shrinking "still unassigned" set is a per-variable
+  round-stamp integer compare, not an ``id()``-hash set.
+
+Tie-breaking is preserved exactly: heap entries order equal levels by
+*scan rank* (constraints in creation order first, then bounds in variable
+creation order) — the order the reference rescanning loop visits them —
+and before a winner is crowned, every candidate within the reference
+EPSILON slack of it is re-ranked with the reference acceptance rule on
+exactly recomputed levels.  A shared constraint's running sum is used only
+to *order* the heap; the level that actually freezes variables is always
+recomputed with the reference summation (fresh pass over the unassigned
+elements, in element order), so the assigned values are bit-identical to
+the reference algorithm whenever the same bottleneck is selected — which
+is always, except for adversarial systems holding *distinct* saturation
+levels less than ``2 × EPSILON`` apart (continuous inputs never do).
+
+The pre-existing rescanning algorithm is preserved verbatim as
+:meth:`solve_reference` — the executable specification the equivalence
+test-suite compares the incremental solver against.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 __all__ = ["MaxMinSystem", "Variable", "Constraint", "Element"]
 
 #: Numerical tolerance used throughout the solver.
 EPSILON = 1e-9
+
+#: Candidate-heap entry kinds (index 4 of an entry tuple).
+_SHARED, _FATPIPE, _BOUND = 0, 1, 2
 
 
 class Element:
@@ -99,7 +145,8 @@ class Variable:
         Opaque back-pointer for the caller (usually the owning Action).
     """
 
-    __slots__ = ("id", "weight", "bound", "value", "elements", "data")
+    __slots__ = ("id", "weight", "bound", "value", "elements", "data",
+                 "_stamp")
 
     def __init__(self, vid: int, weight: float = 1.0,
                  bound: Optional[float] = None, data=None) -> None:
@@ -113,6 +160,10 @@ class Variable:
         self.value = 0.0
         self.elements: List[Element] = []
         self.data = data
+        # Round stamp: equals the owning system's solve token while the
+        # variable is still unassigned inside a sub-solve (cheaper than an
+        # ``id()``-hash membership set on the hot path).
+        self._stamp = 0
 
     # -- introspection helpers -------------------------------------------------
     @property
@@ -146,7 +197,8 @@ class Constraint:
         Opaque back-pointer (usually the owning Resource).
     """
 
-    __slots__ = ("id", "capacity", "shared", "elements", "data")
+    __slots__ = ("id", "capacity", "shared", "elements", "data",
+                 "_rem", "_denom", "_live", "_ver", "_rank", "_fat")
 
     def __init__(self, cid: int, capacity: float, shared: bool = True,
                  data=None) -> None:
@@ -157,6 +209,14 @@ class Constraint:
         self.shared = bool(shared)
         self.elements: List[Element] = []
         self.data = data
+        # Working state of the incremental progressive filling, valid only
+        # inside one sub-solve (see _solve_subsystem):
+        self._rem = 0.0      # running remaining capacity (shared only)
+        self._denom = 0.0    # running sum(usage * weight) over unassigned
+        self._live = 0       # count of still-unassigned crossing variables
+        self._ver = 0        # version stamp invalidating heap entries
+        self._rank = 0       # scan rank (position in the component's order)
+        self._fat: List[Tuple[float, int, "Variable"]] = []  # fat-pipe levels
 
     @property
     def variables(self) -> List[Variable]:
@@ -214,11 +274,17 @@ class MaxMinSystem:
         self._modified: Set[Constraint] = set()
         # Variables with no element whose value needs a (re)computation.
         self._detached_dirty: Set[Variable] = set()
+        # Round stamp handed to the variables of the running sub-solve and
+        # tie-break sequence for candidate-heap entries.
+        self._token = 0
+        self._seq = 0
         # Observability counters (read by benchmarks and tests).
         self.solve_calls = 0          # solve() invocations, incl. skipped
         self.solve_skipped = 0        # clean early-returns
         self.constraints_solved = 0   # constraints visited by sub-solves
         self.variables_solved = 0     # variables re-assigned by sub-solves
+        self.elements_visited = 0     # (var, cns) incidences touched solving
+        self.heap_pops = 0            # candidate-heap pops (incl. stale)
 
     @property
     def variables(self) -> List[Variable]:
@@ -321,21 +387,23 @@ class MaxMinSystem:
             self._detached_dirty.add(variable)
 
     # -- solving -----------------------------------------------------------------
-    def solve(self) -> List[Variable]:
+    def solve(self, _subsolver=None) -> List[Variable]:
         """Assign a max-min fair value to every variable touched by changes.
 
         The algorithm is progressive filling on the *normalised* rates
-        ``x_i / w_i``.  At every round we compute, for every unsaturated
-        constraint, the level at which it would saturate if all its
-        still-active variables grew proportionally to their weights, take
-        the minimum over constraints and over individual variable bounds,
-        freeze the limiting variables at that level and loop.
+        ``x_i / w_i``.  At every round the bottleneck — the unsaturated
+        constraint or variable bound with the smallest saturation level —
+        is taken from the candidate heap, the variables it saturates are
+        frozen at that level and their consumption is subtracted from the
+        running aggregates of every other constraint they cross.
 
         Only the connected components reachable from modified constraints
         are re-solved; a clean system returns immediately.  Returns the
         variables whose value changed (the callers use it to recompute
         action completion dates selectively).
         """
+        subsolve = _subsolver if _subsolver is not None else \
+            self._solve_subsystem
         self.solve_calls += 1
         if not self._modified and not self._detached_dirty:
             self.solve_skipped += 1
@@ -377,7 +445,7 @@ class MaxMinSystem:
                 # identical to a from-scratch solve of the same component.
                 cnss.sort(key=lambda c: c.id)
                 variables.sort(key=lambda v: v.id)
-                self._solve_subsystem(cnss, variables, changed)
+                subsolve(cnss, variables, changed)
         return changed
 
     def _component(self, seed: Constraint, cns_seen: Set[Constraint],
@@ -410,10 +478,292 @@ class MaxMinSystem:
                             stack.append(other.constraint)
         return cnss, variables
 
+    # -- incremental progressive filling -----------------------------------------
     def _solve_subsystem(self, cnss: List[Constraint],
                          variables: List[Variable],
                          changed: List[Variable]) -> None:
-        """Progressive filling restricted to one (or more) components."""
+        """Incremental progressive filling restricted to one component.
+
+        See the module docstring ("Incremental progressive filling") for
+        the data structures; :meth:`_solve_subsystem_reference` is the
+        rescanning specification this must stay observationally (and, for
+        well-separated saturation levels, bit-) identical to.
+        """
+        self.constraints_solved += len(cnss)
+        self.variables_solved += len(variables)
+        old_values = [var.value for var in variables]
+
+        self._token += 1
+        token = self._token
+        active: List[Variable] = []
+        for var in variables:
+            if var.weight <= EPSILON or not var.elements:
+                # Suspended variables get no capacity.  Variables crossing
+                # no constraint are only limited by their bound.
+                if var.weight <= EPSILON:
+                    var.value = 0.0
+                else:
+                    var.value = var.bound if var.bound is not None else math.inf
+            else:
+                var.value = 0.0
+                var._stamp = token
+                active.append(var)
+
+        if active:
+            self._progressive_filling(cnss, active, token)
+
+        for var, old in zip(variables, old_values):
+            if var.value != old:
+                changed.append(var)
+
+    def _progressive_filling(self, cnss: List[Constraint],
+                             active: List[Variable], token: int) -> None:
+        """Heap-driven water-filling over the ``active`` variables."""
+        heap: list = []
+        push = heapq.heappush
+
+        # Seed the working aggregates and the candidate heap.  The initial
+        # levels are exact: the shared denominators are fresh sums over the
+        # unassigned elements in element order, like the reference scan.
+        for rank, cns in enumerate(cnss):
+            cns._ver += 1
+            cns._rank = rank
+            elements = cns.elements
+            self.elements_visited += len(elements)
+            if cns.shared:
+                denom = 0.0
+                live = 0
+                for elem in elements:
+                    var = elem.variable
+                    if var._stamp == token:
+                        denom += elem.usage * var.weight
+                        live += 1
+                cns._rem = cns.capacity
+                cns._denom = denom
+                cns._live = live
+                if live and denom > EPSILON:
+                    self._seq += 1
+                    push(heap, (max(0.0, cns.capacity) / denom, rank,
+                                self._seq, cns._ver, _SHARED, True, cns))
+            else:
+                # Fat pipe: each element's saturation level is static
+                # (capacity, not remaining, caps each variable), so the
+                # constraint's candidate is the min of a lazy-deletion heap.
+                fat: List[Tuple[float, int, Variable]] = []
+                live = 0
+                capacity = cns.capacity
+                for elem in elements:
+                    var = elem.variable
+                    if var._stamp == token:
+                        live += 1
+                        if elem.usage > EPSILON:
+                            fat.append((capacity / (elem.usage * var.weight),
+                                        len(fat), var))
+                heapq.heapify(fat)
+                cns._fat = fat
+                cns._live = live
+                if fat:
+                    self._seq += 1
+                    push(heap, (fat[0][0], rank, self._seq, cns._ver,
+                                _FATPIPE, True, cns))
+
+        num_cns = len(cnss)
+        for aidx, var in enumerate(active):
+            if var.bound is not None:
+                self._seq += 1
+                push(heap, (var.bound / var.weight, num_cns + aidx,
+                            self._seq, 0, _BOUND, True, var))
+
+        unassigned = len(active)
+        while unassigned:
+            entry = self._peek_candidate(heap, token)
+            if entry is None:
+                # No constraint limits the remaining variables: they are
+                # only limited by their bounds (handled above) or unbounded.
+                for var in active:
+                    if var._stamp == token:
+                        var.value = (var.bound if var.bound is not None
+                                     else math.inf)
+                        var._stamp = 0
+                break
+            heapq.heappop(heap)
+            self.heap_pops += 1
+            winner = entry
+
+            # Near-tie adjudication: the heap orders equal levels by scan
+            # rank already, but candidates whose levels differ by less than
+            # the reference EPSILON slack (or by the ulp drift of a running
+            # sum) must be re-ranked with the reference acceptance rule —
+            # scan order, accept when more than EPSILON better — on their
+            # exact levels.  The band is almost always empty.
+            limit = winner[0] + 2.0 * EPSILON + 1e-9 * winner[0]
+            band = None
+            while True:
+                nxt = self._peek_candidate(heap, token)
+                if nxt is None or nxt[0] >= limit:
+                    break
+                if band is None:
+                    band = [winner]
+                band.append(heapq.heappop(heap))
+                self.heap_pops += 1
+            if band is not None:
+                band.sort(key=lambda e: e[1])
+                best = math.inf
+                for cand in band:
+                    if cand[0] < best - EPSILON:
+                        best = cand[0]
+                        winner = cand
+                for cand in band:
+                    if cand is not winner:
+                        push(heap, cand)
+
+            level = winner[0]
+            if winner[4] == _BOUND:
+                frozen = (winner[6],)
+            else:
+                bottleneck = winner[6]
+                self.elements_visited += len(bottleneck.elements)
+                frozen = [e.variable for e in bottleneck.elements
+                          if e.variable._stamp == token]
+
+            # Freeze the saturated variables and maintain the running
+            # aggregates of every constraint they cross — O(crossed).
+            touched: Dict[int, Constraint] = {}
+            for var in frozen:
+                value = level * var.weight
+                if var.bound is not None:
+                    value = min(value, var.bound)
+                var.value = value
+                var._stamp = 0
+                unassigned -= 1
+                elements = var.elements
+                self.elements_visited += len(elements)
+                for elem in elements:
+                    cns = elem.constraint
+                    if cns.shared:
+                        cns._rem = max(0.0, cns._rem - elem.usage * value)
+                        cns._denom -= elem.usage * var.weight
+                    cns._live -= 1
+                    touched[cns.id] = cns
+
+            # One version bump + one refreshed candidate per touched
+            # constraint (not per frozen variable crossing it).
+            for cns in touched.values():
+                cns._ver += 1
+                if cns._live <= 0:
+                    continue
+                if cns.shared:
+                    denom = cns._denom
+                    exact = False
+                    if denom <= 0.5 * EPSILON:
+                        # The running sum may cancel catastrophically when
+                        # a dominant term is subtracted (fl(big + tiny) -
+                        # big == 0) while the exact sum over the remaining
+                        # elements would still pass the reference
+                        # threshold.  Resync before deciding to drop the
+                        # constraint from candidacy.
+                        self.elements_visited += len(cns.elements)
+                        denom = 0.0
+                        for elem in cns.elements:
+                            var = elem.variable
+                            if var._stamp == token:
+                                denom += elem.usage * var.weight
+                        cns._denom = denom
+                        exact = True
+                    # Approximate entries are exactified at pop time, which
+                    # applies the reference `denom <= EPSILON` threshold.
+                    if denom > EPSILON or (not exact
+                                           and denom > 0.5 * EPSILON):
+                        self._seq += 1
+                        push(heap, (max(0.0, cns._rem) / denom,
+                                    cns._rank, self._seq, cns._ver,
+                                    _SHARED, exact, cns))
+                else:
+                    fat = cns._fat
+                    while fat and fat[0][2]._stamp != token:
+                        heapq.heappop(fat)
+                    if fat:
+                        self._seq += 1
+                        push(heap, (fat[0][0], cns._rank, self._seq,
+                                    cns._ver, _FATPIPE, True, cns))
+
+        # The fat-pipe level heaps are per-solve working state; drop them
+        # so their Variable references (and, through ``var.data``, the
+        # owning actions and payloads) do not outlive the sub-solve.
+        for cns in cnss:
+            if not cns.shared:
+                cns._fat = []
+
+    def _peek_candidate(self, heap: list, token: int):
+        """Surface the heap's live minimum, with an *exact* level.
+
+        Drops stale entries (version mismatch, no unassigned variable
+        left).  A surfacing shared-constraint entry whose level came from
+        the running sum is replaced by one recomputed the way the
+        reference scan computes it — a fresh ``sum(usage × weight)`` over
+        the still-unassigned elements, in element order — so the level a
+        winner freezes variables at is bit-identical to the reference.
+        Returns the live entry without popping it, or ``None``.
+        """
+        pops = 0
+        result = None
+        while heap:
+            entry = heap[0]
+            kind = entry[4]
+            obj = entry[6]
+            if kind == _BOUND:
+                if obj._stamp == token:
+                    result = entry
+                    break
+                heapq.heappop(heap)
+                pops += 1
+                continue
+            if entry[3] != obj._ver or obj._live <= 0:
+                heapq.heappop(heap)
+                pops += 1
+                continue
+            if entry[5]:          # already exact
+                result = entry
+                break
+            # Stale-approximate shared entry: recompute exactly.
+            heapq.heappop(heap)
+            pops += 1
+            elements = obj.elements
+            self.elements_visited += len(elements)
+            denom = 0.0
+            found = False
+            for elem in elements:
+                var = elem.variable
+                if var._stamp == token:
+                    denom += elem.usage * var.weight
+                    found = True
+            obj._ver += 1
+            if not found or denom <= EPSILON:
+                continue
+            obj._denom = denom
+            self._seq += 1
+            heapq.heappush(heap, (max(0.0, obj._rem) / denom, entry[1],
+                                  self._seq, obj._ver, _SHARED, True, obj))
+        self.heap_pops += pops
+        return result
+
+    # -- reference algorithm (kept for the equivalence test-suite) ---------------
+    def solve_reference(self) -> List[Variable]:
+        """Force a from-scratch solve with the reference rescanning filling.
+
+        The pre-incremental progressive filling (a full rescan of every
+        constraint's elements at every round) is preserved verbatim as the
+        executable specification of the solver; only tests should call it.
+        """
+        self._modified.update(c for c in self.constraints if c.elements)
+        self._detached_dirty.update(v for v in self._vars.values()
+                                    if not v.elements)
+        return self.solve(_subsolver=self._solve_subsystem_reference)
+
+    def _solve_subsystem_reference(self, cnss: List[Constraint],
+                                   variables: List[Variable],
+                                   changed: List[Variable]) -> None:
+        """Reference progressive filling: per-round full rescans."""
         self.constraints_solved += len(cnss)
         self.variables_solved += len(variables)
         old_values = [var.value for var in variables]
@@ -421,8 +771,6 @@ class MaxMinSystem:
         active: List[Variable] = []
         for var in variables:
             if var.weight <= EPSILON or not var.elements:
-                # Suspended variables get no capacity.  Variables crossing
-                # no constraint are only limited by their bound.
                 if var.weight <= EPSILON:
                     var.value = 0.0
                 else:
@@ -483,6 +831,7 @@ class MaxMinSystem:
                     value = min(value, var.bound)
                 var.value = value
                 unassigned.discard(id(var))
+                self.elements_visited += len(var.elements)
                 # subtract consumption from every shared constraint crossed
                 for elem in var.elements:
                     if elem.constraint.shared:
@@ -501,6 +850,7 @@ class MaxMinSystem:
 
         Returns ``None`` when no unassigned variable crosses the constraint.
         """
+        self.elements_visited += len(cns.elements)
         if cns.shared:
             denom = 0.0
             found = False

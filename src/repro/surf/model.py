@@ -57,6 +57,24 @@ class FluidModel:
         self._heap: List[Tuple[float, int, int, Action]] = []
         self._seq = itertools.count()
 
+    # -- observability -----------------------------------------------------------
+    def solver_stats(self) -> dict:
+        """Counters of this model's LMM system (benchmark observability).
+
+        ``elements_visited`` and ``heap_pops`` expose the incremental
+        progressive filling's actual work so benchmarks can prove the
+        O(E log C) complexity instead of inferring it from wall-clock.
+        """
+        system = self.system
+        return {
+            "solve_calls": system.solve_calls,
+            "solve_skipped": system.solve_skipped,
+            "constraints_solved": system.constraints_solved,
+            "variables_solved": system.variables_solved,
+            "elements_visited": system.elements_visited,
+            "heap_pops": system.heap_pops,
+        }
+
     # -- event heap -------------------------------------------------------------
     def _schedule_event(self, action: Action, date: float) -> None:
         """(Re)schedule the single live event of ``action`` at ``date``."""

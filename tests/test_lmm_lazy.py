@@ -23,8 +23,13 @@ from repro.surf.network import NetworkModel
 # reference helper: rebuild the live system from scratch and full-solve it
 # ----------------------------------------------------------------------------------
 
-def reference_values(system):
-    """Map variable id -> value a from-scratch full solve would assign."""
+def reference_values(system, use_reference_solver=False):
+    """Map variable id -> value a from-scratch full solve would assign.
+
+    With ``use_reference_solver=True`` the rebuilt clone is solved with
+    :meth:`MaxMinSystem.solve_reference` — the preserved pre-incremental
+    rescanning algorithm — instead of the incremental solver.
+    """
     fresh = MaxMinSystem()
     cns_map = {}
     for cns in system.constraints:
@@ -36,12 +41,16 @@ def reference_values(system):
         for elem in var.elements:
             fresh.expand(cns_map[elem.constraint.id], var_map[var.id],
                          elem.usage)
-    fresh.solve()
+    if use_reference_solver:
+        fresh.solve_reference()
+    else:
+        fresh.solve()
     return {vid: clone.value for vid, clone in var_map.items()}
 
 
-def assert_matches_reference(system):
-    expected = reference_values(system)
+def assert_matches_reference(system, use_reference_solver=False):
+    expected = reference_values(system,
+                                use_reference_solver=use_reference_solver)
     for var in system.variables:
         if math.isinf(expected[var.id]):
             assert math.isinf(var.value), f"var {var.id}"
@@ -131,6 +140,155 @@ def test_solve_all_forces_full_resolve():
     system.solve_all()
     assert a.value == pytest.approx(50.0)
     assert b.value == pytest.approx(50.0)
+
+
+# ----------------------------------------------------------------------------------
+# incremental solver == preserved reference solver (PR 5 rewrite)
+# ----------------------------------------------------------------------------------
+
+@st.composite
+def mixed_system_script(draw):
+    """A random mixed system (shared + fat-pipe + bounds + zero-weight +
+    detached variables) plus a random mutation sequence."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    num_constraints = draw(st.integers(min_value=1, max_value=7))
+    num_variables = draw(st.integers(min_value=1, max_value=14))
+    num_mutations = draw(st.integers(min_value=0, max_value=10))
+    return seed, num_constraints, num_variables, num_mutations
+
+
+@settings(max_examples=80, derandomize=True, deadline=None)
+@given(mixed_system_script())
+def test_property_incremental_solver_matches_reference_solver(script):
+    """The heap-driven filling is equivalent to the rescanning reference.
+
+    Random systems mixing shared and fat-pipe constraints, rate bounds,
+    zero-weight (suspended) and detached (constraint-free) variables are
+    driven through random mutations; after every selective solve, the
+    values must match a from-scratch clone solved with the *reference*
+    algorithm (``solve_reference``), not just the incremental one.
+    """
+    seed, num_constraints, num_variables, num_mutations = script
+    rng = random.Random(seed)
+
+    system = MaxMinSystem()
+    constraints = [
+        system.new_constraint(rng.uniform(1.0, 1000.0),
+                              shared=rng.random() > 0.3)
+        for _ in range(num_constraints)
+    ]
+    for _ in range(num_variables):
+        weight = 0.0 if rng.random() < 0.15 else rng.uniform(0.1, 10.0)
+        bound = rng.uniform(0.5, 500.0) if rng.random() < 0.4 else None
+        var = system.new_variable(weight=weight, bound=bound)
+        if rng.random() < 0.12:
+            continue                      # detached: crosses no constraint
+        for cns in rng.sample(constraints,
+                              rng.randint(1, num_constraints)):
+            system.expand(cns, var, rng.uniform(0.5, 2.0))
+
+    system.solve()
+    assert_matches_reference(system, use_reference_solver=True)
+    assert system.check_feasible()
+
+    for _ in range(num_mutations):
+        live = [v for v in system.variables]
+        op = rng.randrange(5)
+        if op == 0 and live:
+            system.update_variable_weight(
+                rng.choice(live), rng.choice([0.0, rng.uniform(0.1, 10.0)]))
+        elif op == 1 and live:
+            system.update_variable_bound(
+                rng.choice(live),
+                rng.choice([None, rng.uniform(0.5, 500.0)]))
+        elif op == 2:
+            system.update_constraint_capacity(
+                rng.choice(constraints), rng.uniform(1.0, 1000.0))
+        elif op == 3 and live:
+            system.remove_variable(rng.choice(live))
+        else:
+            bound = rng.uniform(0.5, 500.0) if rng.random() < 0.4 else None
+            var = system.new_variable(weight=rng.uniform(0.1, 10.0),
+                                      bound=bound)
+            for cns in rng.sample(constraints,
+                                  rng.randint(1, num_constraints)):
+                system.expand(cns, var, rng.uniform(0.5, 2.0))
+        system.solve()
+        assert_matches_reference(system, use_reference_solver=True)
+        assert system.check_feasible()
+
+
+# ----------------------------------------------------------------------------------
+# complexity counters: dense bottleneck stays near-linear (wall-clock-free)
+# ----------------------------------------------------------------------------------
+
+def dense_bottleneck_system(num_variables, seed=11):
+    """One shared constraint crossed by N variables, most with a distinct
+    bound below fair share — progressive filling freezes them one round at
+    a time (the star/master-worker saturation shape)."""
+    rng = random.Random(seed)
+    system = MaxMinSystem()
+    bottleneck = system.new_constraint(1e9)
+    fair_share = 1e9 / num_variables
+    for i in range(num_variables):
+        bound = fair_share * rng.uniform(0.05, 0.95) if i % 8 else None
+        var = system.new_variable(weight=rng.uniform(0.5, 2.0), bound=bound)
+        system.expand(bottleneck, var, rng.uniform(0.5, 2.0))
+    return system
+
+
+class TestSolverComplexityCounters:
+    def test_elements_visited_scales_linearly_on_dense_bottleneck(self):
+        """4x the component size must cost ~4x the element visits.
+
+        Counter-based (no wall clock), so it is CI-stable: the incremental
+        solver's ``elements_visited`` grows linearly with a log-factor
+        slack; a rescanning regression would grow it ~16x here.
+        """
+        small = dense_bottleneck_system(200)
+        small.solve()
+        large = dense_bottleneck_system(800)
+        large.solve()
+        assert large.elements_visited / small.elements_visited < 8.0
+        assert large.heap_pops / small.heap_pops < 8.0
+
+    def test_reference_solver_is_quadratic_on_dense_bottleneck(self):
+        """The preserved reference shows the contrast on the same shape."""
+        small = dense_bottleneck_system(200)
+        small.solve_reference()
+        large = dense_bottleneck_system(800)
+        large.solve_reference()
+        assert large.elements_visited / small.elements_visited > 10.0
+
+    def test_dense_bottleneck_values_bitwise_equal_to_reference(self):
+        """Same bottleneck selection => bit-identical frozen values."""
+        incremental = dense_bottleneck_system(800)
+        incremental.solve()
+        reference = dense_bottleneck_system(800)
+        reference.solve_reference()
+        for a, b in zip(incremental.variables, reference.variables):
+            assert a.value == b.value, f"var {a.id}"
+
+    def test_cancelled_running_sum_does_not_drop_binding_constraint(self):
+        """Catastrophic cancellation of the running denominator.
+
+        ``fl(1e9 + 1e-8) == 1e9``: once the dominant variable freezes via
+        its bound, the running sum cancels to exactly 0.0, but the exact
+        denominator over the remaining element is 1e-8 — the constraint
+        still binds the second variable, which must not be assigned inf.
+        """
+        system = MaxMinSystem()
+        cns = system.new_constraint(1e3)
+        a = system.new_variable(bound=1e-12)
+        b = system.new_variable()
+        system.expand(cns, a, usage=1e9)
+        system.expand(cns, b, usage=1e-8)
+        system.solve()
+        assert system.check_feasible()
+        expected = reference_values(system, use_reference_solver=True)
+        assert a.value == expected[a.id]
+        assert b.value == expected[b.id]
+        assert not math.isinf(b.value)
 
 
 # ----------------------------------------------------------------------------------

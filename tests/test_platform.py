@@ -151,6 +151,18 @@ class TestRealization:
         links = platform.route_resources("a", "b")
         assert [l.name for l in links] == ["a-r", "r-b"]
 
+    def test_route_resources_memoized_after_realization(self):
+        """The comm hot path gets the same resolved list object back."""
+        platform = small_platform()
+        platform.realize()
+        first = platform.route_resources("a", "b")
+        assert first is platform.route_resources("a", "b")
+        assert [l.name for l in first] == ["a-r", "r-b"]
+        # distinct endpoint pairs get distinct cache entries
+        reverse = platform.route_resources("b", "a")
+        assert [l.name for l in reverse] == ["r-b", "a-r"]
+        assert reverse is platform.route_resources("b", "a")
+
     def test_cpu_of_unknown_host(self):
         platform = small_platform()
         platform.realize()
