@@ -5,7 +5,7 @@ clients.  Dark portions denote computations, light portions denote
 communications.  Concurrent communications interfere with each other as the
 TCP flows share network links."*
 
-The harness replays the paper's MSG client/server code (30 MFlop / 3.2 MB
+The harness replays the paper's client/server code (30 MFlop / 3.2 MB
 requests, 10.5 MFlop local tasks, 10 KB acks) with 3 clients and 2 servers
 on the hub/switch/router/Internet platform, prints the resulting Gantt rows
 and asserts the figure's qualitative features.
@@ -14,51 +14,51 @@ and asserts the figure's qualitative features.
 import pytest
 
 from bench_util import print_table
-from repro.msg import Environment, MSG_task_create
 from repro.platform import make_client_server_lan
+from repro.s4u import Engine
 from repro.tracing import GanttChart, Recorder, render_ascii_gantt
 
-PORT_REQUEST = 22
-PORT_ACK = 23
+MFLOP = 1e6
+MBYTE = 1e6
 NUM_CLIENTS = 3
 NUM_SERVERS = 2
 REQUESTS_PER_CLIENT = 3
 
 
-def client(proc, server_name, client_index):
+def client(actor, server_name, client_index):
+    requests = actor.engine.mailbox(f"{server_name}:req")
+    acks = actor.engine.mailbox(f"client-{client_index}:ack")
     for round_idx in range(REQUESTS_PER_CLIENT):
-        remote = MSG_task_create(f"Remote-c{client_index}-r{round_idx}",
-                                 30.0, 3.2)
-        yield proc.put(remote, server_name, PORT_REQUEST)
-        local = MSG_task_create(f"Local-c{client_index}-r{round_idx}",
-                                10.50, 3.2)
-        yield proc.execute(local)
-        yield proc.get(PORT_ACK)
+        yield requests.put((acks.name, 30.0 * MFLOP), size=3.2 * MBYTE,
+                           name=f"Remote-c{client_index}-r{round_idx}")
+        yield actor.execute(10.50 * MFLOP,
+                            name=f"Local-c{client_index}-r{round_idx}")
+        yield acks.get()
 
 
-def server(proc, expected_requests):
+def server(actor, name, expected_requests):
+    requests = actor.engine.mailbox(f"{name}:req")
     for _ in range(expected_requests):
-        task = yield proc.get(PORT_REQUEST)
-        yield proc.execute(task)
-        ack = MSG_task_create("Ack", 0, 0.01)
-        yield proc.put(ack, task.sender.host, PORT_ACK)
+        reply_to, flops = yield requests.get()
+        yield actor.execute(flops)
+        yield actor.engine.mailbox(reply_to).put("Ack", size=0.01 * MBYTE)
 
 
 def simulate():
     platform = make_client_server_lan(num_clients=NUM_CLIENTS,
                                       num_servers=NUM_SERVERS)
     recorder = Recorder()
-    env = Environment(platform, recorder=recorder)
+    engine = Engine(platform, recorder=recorder)
     requests_per_server = [0] * NUM_SERVERS
     for c in range(NUM_CLIENTS):
         requests_per_server[c % NUM_SERVERS] += REQUESTS_PER_CLIENT
     for s in range(NUM_SERVERS):
-        env.create_process(f"server-{s}", f"server-{s}", server,
-                           requests_per_server[s])
+        engine.add_actor(f"server-{s}", f"server-{s}", server,
+                         f"server-{s}", requests_per_server[s])
     for c in range(NUM_CLIENTS):
-        env.create_process(f"client-{c}", f"client-{c}", client,
-                           f"server-{c % NUM_SERVERS}", c)
-    makespan = env.run()
+        engine.add_actor(f"client-{c}", f"client-{c}", client,
+                         f"server-{c % NUM_SERVERS}", c)
+    makespan = engine.run()
     return makespan, recorder
 
 
@@ -94,9 +94,9 @@ def test_e4_client_server_gantt_chart(benchmark):
     # round is faster than the average round of the contended run
     single_platform = make_client_server_lan(num_clients=1, num_servers=1)
     single_recorder = Recorder()
-    single_env = Environment(single_platform, recorder=single_recorder)
-    single_env.create_process("server-0", "server-0", server,
-                              REQUESTS_PER_CLIENT)
-    single_env.create_process("client-0", "client-0", client, "server-0", 0)
-    single_makespan = single_env.run()
+    single_engine = Engine(single_platform, recorder=single_recorder)
+    single_engine.add_actor("server-0", "server-0", server, "server-0",
+                            REQUESTS_PER_CLIENT)
+    single_engine.add_actor("client-0", "client-0", client, "server-0", 0)
+    single_makespan = single_engine.run()
     assert makespan > single_makespan

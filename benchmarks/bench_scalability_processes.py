@@ -4,7 +4,7 @@ The paper's architecture panel contrasts how the three interfaces map
 simulated processes onto execution vehicles (MSG: all in one process; GRAS:
 several per OS process; SMPI: one OS process per rank), which is ultimately
 a statement about scalability.  This harness measures how the simulator
-behaves as the number of simulated MSG processes grows (a master/worker
+behaves as the number of simulated actors grows (a master/worker
 application from 16 to 512 workers) and verifies that the wall-clock cost
 grows roughly linearly — i.e. the generator-based context factory scales —
 and that simulated results stay exact at every scale.
@@ -15,8 +15,8 @@ import time
 import pytest
 
 from bench_util import print_table
-from repro.msg import Environment, Task
 from repro.platform import make_star
+from repro.s4u import Engine
 
 TASK_FLOPS = 1e8
 TASKS_PER_WORKER = 2
@@ -26,28 +26,27 @@ def master_worker(num_workers: int) -> float:
     """Simulate a master dispatching work to ``num_workers`` workers."""
     platform = make_star(num_hosts=num_workers, host_speed=1e9,
                          link_bandwidth=125e6, link_latency=1e-4)
-    env = Environment(platform)
+    engine = Engine(platform)
 
-    def master(proc, workers):
+    def master(actor, workers):
         for round_idx in range(TASKS_PER_WORKER):
             for w in range(workers):
-                task = Task(f"job-{round_idx}-{w}", compute_amount=TASK_FLOPS,
-                            data_size=1e4)
-                yield proc.send(task, f"worker-{w}")
+                yield actor.engine.mailbox(f"worker-{w}").put(
+                    TASK_FLOPS, size=1e4, name=f"job-{round_idx}-{w}")
         for w in range(workers):
-            yield proc.send(Task("stop", data_size=1.0), f"worker-{w}")
+            yield actor.engine.mailbox(f"worker-{w}").put("stop", size=1.0)
 
-    def worker(proc, index):
+    def worker(actor, index):
         while True:
-            task = yield proc.receive(f"worker-{index}")
-            if task.name == "stop":
+            flops = yield actor.engine.mailbox(f"worker-{index}").get()
+            if flops == "stop":
                 return
-            yield proc.execute(task)
+            yield actor.execute(flops)
 
-    env.create_process("master", "center", master, num_workers)
+    engine.add_actor("master", "center", master, num_workers)
     for w in range(num_workers):
-        env.create_process(f"worker-{w}", f"leaf-{w}", worker, w)
-    return env.run()
+        engine.add_actor(f"worker-{w}", f"leaf-{w}", worker, w)
+    return engine.run()
 
 
 def test_e9_process_count_scalability(benchmark):

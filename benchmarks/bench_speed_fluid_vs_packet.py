@@ -11,9 +11,9 @@ import time
 import pytest
 
 from bench_util import print_table
-from repro.msg import Environment, Task
 from repro.packet import FlowSpec, PacketSimulator
 from repro.platform.brite import make_waxman_topology, random_flows
+from repro.s4u import Engine
 
 NUM_NODES = 10
 NUM_FLOWS = 10
@@ -25,18 +25,18 @@ FLOW_SEED = 7
 def run_fluid():
     platform = make_waxman_topology(num_nodes=NUM_NODES, seed=TOPOLOGY_SEED)
     flows = random_flows(platform, num_flows=NUM_FLOWS, seed=FLOW_SEED)
-    env = Environment(platform)
+    engine = Engine(platform)
 
-    def sender(proc, mailbox, nbytes):
-        yield proc.send(Task(mailbox, data_size=nbytes), mailbox)
+    def sender(actor, mailbox, nbytes):
+        yield actor.engine.mailbox(mailbox).put(mailbox, size=nbytes)
 
-    def receiver(proc, mailbox):
-        yield proc.receive(mailbox)
+    def receiver(actor, mailbox):
+        yield actor.engine.mailbox(mailbox).get()
 
     for idx, (src, dst) in enumerate(flows):
-        env.create_process(f"s{idx}", src, sender, f"f{idx}", FLOW_BYTES)
-        env.create_process(f"r{idx}", dst, receiver, f"f{idx}")
-    return env.run()
+        engine.add_actor(f"s{idx}", src, sender, f"f{idx}", FLOW_BYTES)
+        engine.add_actor(f"r{idx}", dst, receiver, f"f{idx}")
+    return engine.run()
 
 
 def run_packet():

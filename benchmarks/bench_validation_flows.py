@@ -20,9 +20,9 @@ import statistics
 import pytest
 
 from bench_util import print_table
-from repro.msg import Environment, Task
 from repro.packet import FlowSpec, PacketSimulator
 from repro.platform.brite import make_waxman_topology, random_flows
+from repro.s4u import Engine
 
 NUM_NODES = 10
 NUM_FLOWS = 10
@@ -34,21 +34,21 @@ FLOW_SEED = 7
 def fluid_rates(flow_bytes=FLOW_BYTES):
     platform = make_waxman_topology(num_nodes=NUM_NODES, seed=TOPOLOGY_SEED)
     flows = random_flows(platform, num_flows=NUM_FLOWS, seed=FLOW_SEED)
-    env = Environment(platform)
+    engine = Engine(platform)
     durations = {}
 
-    def sender(proc, mailbox, nbytes):
-        yield proc.send(Task(mailbox, data_size=nbytes), mailbox)
+    def sender(actor, mailbox, nbytes):
+        yield actor.engine.mailbox(mailbox).put(mailbox, size=nbytes)
 
-    def receiver(proc, mailbox, key):
-        start = proc.now
-        yield proc.receive(mailbox)
-        durations[key] = proc.now - start
+    def receiver(actor, mailbox, key):
+        start = actor.now
+        yield actor.engine.mailbox(mailbox).get()
+        durations[key] = actor.now - start
 
     for idx, (src, dst) in enumerate(flows):
-        env.create_process(f"s{idx}", src, sender, f"f{idx}", flow_bytes)
-        env.create_process(f"r{idx}", dst, receiver, f"f{idx}", idx)
-    env.run()
+        engine.add_actor(f"s{idx}", src, sender, f"f{idx}", flow_bytes)
+        engine.add_actor(f"r{idx}", dst, receiver, f"f{idx}", idx)
+    engine.run()
     return [flow_bytes / durations[idx] for idx in range(NUM_FLOWS)], flows
 
 

@@ -5,7 +5,7 @@ Unlike the pytest harnesses in this directory (which print paper-artefact
 tables and assert on simulated results), this runner is about the *perf
 trajectory* of the simulator itself across PRs.  It imports the scenario
 functions directly — no pytest, no plugins — times them, and writes a JSON
-report (``BENCH_PR5.json`` by default) with, per scenario and size:
+report (``BENCH_PR6.json`` by default) with, per scenario and size:
 
 * ``wall_clock_s`` — how long the simulation took for real;
 * ``events_per_s`` — simulated activity completions per wall-clock second,
@@ -179,6 +179,16 @@ def _fluid_flows(size):
     return {"simulated_time_s": simulated, "events": NUM_FLOWS}
 
 
+def _routing_scale(size):
+    from bench_routing_scale import run_routing_scale
+    return run_routing_scale(num_hosts=size)
+
+
+def _platform_realize(size):
+    from bench_routing_scale import run_platform_realize
+    return run_platform_realize(num_hosts=size)
+
+
 #: name -> (wrapper, full sizes, smoke sizes).  ``None`` sizes mean the
 #: scenario has one fixed configuration.
 SCENARIOS = {
@@ -197,12 +207,18 @@ SCENARIOS = {
     "gantt_clientserver": (_gantt_clientserver, (None,), (None,)),
     "traces_failures": (_traces_failures, (None,), (None,)),
     "fluid_flows": (_fluid_flows, (None,), (None,)),
+    # Hierarchical routing (PR 6): the smoke size IS the acceptance size —
+    # a 10⁵-host zoned platform must resolve routes and realize lazily
+    # inside the budget, or the O(touched) guarantee regressed.
+    "routing_scale": (_routing_scale, (1000, 10_000, 100_000), (100_000,)),
+    "platform_realize": (_platform_realize, (1000, 10_000, 100_000),
+                         (100_000,)),
 }
 
 
 #: Per-scenario wall-clock budgets for the ``--smoke`` sizes, in seconds.
-#: Generous multiples of the recorded smoke times (all well under a second
-#: on the lazy kernel, see BENCH_PR5.json) so CI noise never trips them,
+#: Generous multiples of the recorded smoke times (all a few seconds at
+#: most on the lazy kernel, see BENCH_PR6.json) so CI noise never trips them,
 #: but a solver regression that reintroduces per-round rescans still fails
 #: loudly *attributed to the scenario that caused it* instead of only
 #: blowing the job's global timeout.
@@ -220,6 +236,8 @@ SMOKE_BUDGETS_S = {
     "gantt_clientserver": 10.0,
     "traces_failures": 10.0,
     "fluid_flows": 15.0,
+    "routing_scale": 20.0,
+    "platform_realize": 20.0,
 }
 
 
@@ -266,7 +284,7 @@ def main(argv=None):
                         help="with --smoke: fail when a scenario exceeds its "
                              "per-scenario wall-clock budget, naming the "
                              "offender (CI regression attribution)")
-    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR5.json"),
+    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR6.json"),
                         help="path of the JSON report (default: %(default)s)")
     args = parser.parse_args(argv)
 

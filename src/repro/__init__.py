@@ -3,16 +3,16 @@
 The package mirrors the paper's architecture, unified (as SimGrid itself
 later did) behind **one canonical actor/activity API**: :mod:`repro.s4u`::
 
-    MSG (legacy shim)  GRAS                SMPI
-    (prototyping)      (dev + deployment)  (MPI app simulation)
-            \\            |                /
-             +--------- s4u (actors, mailboxes, activity futures) ------+
+    GRAS                 SMPI                  AMOK
+    (dev + deployment)   (MPI app simulation)  (grid toolbox)
+            \\              |                  /
+             +------ s4u (actors, mailboxes, activity futures) ------+
                               |
                       kernel (contexts, simcalls, timers)
                               |
                             SURF  (fluid platform simulation, MaxMin fairness)
                               |
-                          platform (hosts, links, routes, topologies)
+                  platform (hosts, links, routing zones, topologies)
 
 plus ``repro.packet`` (a packet-level TCP simulator standing in for
 NS2/GTNetS in the validation experiment), ``repro.wire`` (middleware
@@ -39,10 +39,9 @@ Quickstart (s4u, the canonical API)
 
 GRAS (:class:`repro.gras.SimWorld`), SMPI (:class:`repro.smpi.SmpiWorld`)
 and AMOK all drive this engine directly.  The paper's MSG API
-(``Environment``/``Process``/``Task``) survives as a deprecated legacy shim
-over s4u: importing :mod:`repro.msg` — directly or through the lazy
-``repro.Environment`` / ``repro.Process`` / ``repro.Task`` aliases below —
-emits a :class:`DeprecationWarning` but keeps identical simulated dates.
+(``Environment``/``Process``/``Task``) was retired after a deprecation
+cycle: accessing those names now raises a clear :class:`ImportError`
+pointing at the s4u equivalents.
 """
 
 from repro import s4u
@@ -77,15 +76,18 @@ from repro.exceptions import (
     UnknownMessageError,
 )
 from repro.platform import (
+    NetZone,
     Platform,
     load_platform,
     make_barabasi_albert_topology,
     make_client_server_lan,
     make_cluster,
     make_dumbbell,
+    make_hierarchical_topology,
     make_star,
     make_two_site_grid,
     make_waxman_topology,
+    make_zoned_grid,
     save_platform,
 )
 from repro.surf import (
@@ -99,21 +101,24 @@ from repro.surf import (
 from repro.tracing import GanttChart, Recorder
 from repro.version import __version__
 
-#: Legacy MSG names, resolved lazily so that merely importing ``repro``
-#: does not drag the deprecated shim in (PEP 562).  Accessing any of them
-#: imports :mod:`repro.msg`, which emits its ``DeprecationWarning``.
-_MSG_LEGACY = {"Environment", "Process", "ProcessState", "Task"}
+#: The retired MSG API and where each name went.  The deprecated
+#: compatibility shim (``repro.msg``) was removed after a deprecation
+#: cycle; resolving one of its names fails loudly with the s4u equivalent
+#: instead of an opaque AttributeError.
+_MSG_REMOVED = {
+    "Environment": "repro.s4u.Engine",
+    "Process": "repro.s4u.Actor",
+    "ProcessState": "repro.s4u.ActorState",
+    "Task": "a plain payload plus Mailbox.put(payload, size=...)",
+}
 
 
 def __getattr__(name):
-    if name in _MSG_LEGACY:
-        from repro import msg
-        return getattr(msg, name)
+    if name in _MSG_REMOVED:
+        raise ImportError(
+            f"the deprecated MSG API was removed; repro.{name} is now "
+            f"{_MSG_REMOVED[name]} (see repro.s4u)")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def __dir__():
-    return sorted(set(globals()) | _MSG_LEGACY)
 
 
 __all__ = [
@@ -126,7 +131,6 @@ __all__ = [
     "DataDescriptionError",
     "DeadlockError",
     "Engine",
-    "Environment",
     "Exec",
     "FailureInjector",
     "GanttChart",
@@ -137,19 +141,18 @@ __all__ = [
     "MaxMinSystem",
     "MpiError",
     "NetworkError",
+    "NetZone",
     "NetworkModel",
     "NetworkModelConfig",
     "NoRouteError",
     "Platform",
     "PlatformError",
-    "Process",
     "ProcessKilledError",
     "Recorder",
     "SimGridError",
     "SimTimeoutError",
     "Sleep",
     "SurfEngine",
-    "Task",
     "Trace",
     "TransferFailureError",
     "UnknownMessageError",
@@ -159,9 +162,11 @@ __all__ = [
     "make_client_server_lan",
     "make_cluster",
     "make_dumbbell",
+    "make_hierarchical_topology",
     "make_star",
     "make_two_site_grid",
     "make_waxman_topology",
+    "make_zoned_grid",
     "s4u",
     "save_platform",
     "this_actor",

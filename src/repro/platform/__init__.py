@@ -19,16 +19,19 @@ from repro.platform.platform import (
     RealizedHost,
     RouteSpec,
 )
+from repro.platform.routing import LRUCache, NetZone
 from repro.platform.generators import (
     make_client_server_lan,
     make_cluster,
     make_dumbbell,
     make_star,
     make_two_site_grid,
+    make_zoned_grid,
 )
 from repro.platform.brite import (
     BriteConfig,
     make_barabasi_albert_topology,
+    make_hierarchical_topology,
     make_waxman_topology,
 )
 from repro.platform.loader import load_platform, save_platform
@@ -36,7 +39,9 @@ from repro.platform.loader import load_platform, save_platform
 __all__ = [
     "BriteConfig",
     "HostSpec",
+    "LRUCache",
     "LinkSpec",
+    "NetZone",
     "Platform",
     "RealizedHost",
     "RouteSpec",
@@ -45,8 +50,10 @@ __all__ = [
     "make_client_server_lan",
     "make_cluster",
     "make_dumbbell",
+    "make_hierarchical_topology",
     "make_star",
     "make_two_site_grid",
     "make_waxman_topology",
+    "make_zoned_grid",
     "save_platform",
 ]

@@ -26,7 +26,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.platform.platform import Platform
 
 __all__ = ["BriteConfig", "make_waxman_topology",
-           "make_barabasi_albert_topology", "random_flows"]
+           "make_barabasi_albert_topology", "make_hierarchical_topology",
+           "random_flows"]
 
 
 @dataclass
@@ -201,6 +202,59 @@ def make_barabasi_albert_topology(num_nodes: int = 10, m: int = 2,
             degree[target] += 1
     _ensure_connected(num_nodes, edges, rng)
     return _build_platform(num_nodes, edges, positions, rng, config, name)
+
+
+def make_hierarchical_topology(num_sites: int = 8, hosts_per_site: int = 16,
+                               seed: int = 42,
+                               config: Optional[BriteConfig] = None,
+                               site_routing: str = "Floyd",
+                               site_bandwidth: float = 125e6,
+                               site_latency: float = 100e-6,
+                               name: str = "brite-hier") -> Platform:
+    """BRITE's *top-down hierarchical* mode as a tree of routing zones.
+
+    The AS level is a Waxman random graph over ``num_sites`` gateway
+    routers — same placement, edge probability, bandwidth and latency
+    draws as :func:`make_waxman_topology` — and each AS is a
+    :class:`~repro.platform.routing.NetZone` holding ``hosts_per_site``
+    hosts in a LAN star behind its gateway.  Deterministic given ``seed``,
+    and O(hosts + wan_edges) to build: no per-pair table is ever stored,
+    so 10⁵-host instances are practical.
+    """
+    if num_sites < 2:
+        raise ValueError("need at least two sites")
+    if hosts_per_site < 1:
+        raise ValueError("need at least one host per site")
+    config = config or BriteConfig()
+    rng = random.Random(seed)
+    positions = _place_nodes(num_sites, rng, config)
+    diag = math.hypot(config.plane_size, config.plane_size)
+    edges: List[Tuple[int, int]] = []
+    for i in range(num_sites):
+        for j in range(i + 1, num_sites):
+            dist = math.hypot(positions[i][0] - positions[j][0],
+                              positions[i][1] - positions[j][1])
+            prob = config.alpha * math.exp(-dist / (config.beta * diag))
+            if rng.random() < prob:
+                edges.append((i, j))
+    _ensure_connected(num_sites, edges, rng)
+
+    platform = Platform(name)
+    for s in range(num_sites):
+        site = platform.add_zone(f"as-{s}", routing=site_routing)
+        gw = site.add_router(f"as-{s}-gw")   # first node => default gateway
+        for i in range(hosts_per_site):
+            host = site.add_host(f"as-{s}-host-{i}", config.host_speed)
+            link = platform.add_link(f"as-{s}-lan-{i}", site_bandwidth,
+                                     site_latency)
+            site.connect(host.name, gw, link.name)
+    # WAN edges join the zones in the root zone (entered via gateways).
+    for idx, (a, b) in enumerate(edges):
+        bandwidth = rng.uniform(config.bw_min, config.bw_max)
+        latency = _link_latency(positions[a], positions[b], rng, config)
+        link = platform.add_link(f"wan-{idx}", bandwidth, latency)
+        platform.connect(f"as-{a}", f"as-{b}", link.name)
+    return platform
 
 
 def random_flows(platform: Platform, num_flows: int = 10,

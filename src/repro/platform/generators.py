@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence
 from repro.platform.platform import Platform
 
 __all__ = ["make_cluster", "make_star", "make_dumbbell", "make_two_site_grid",
-           "make_client_server_lan"]
+           "make_client_server_lan", "make_zoned_grid"]
 
 
 def make_cluster(num_hosts: int = 8,
@@ -179,4 +179,53 @@ def make_client_server_lan(num_clients: int = 3, num_servers: int = 2,
         link = platform.add_link(f"server-link-{i}", uplink_bandwidth,
                                  uplink_latency)
         platform.connect(host.name, server_router, link.name)
+    return platform
+
+
+def make_zoned_grid(num_sites: int = 4, hosts_per_site: int = 8,
+                    host_speed: float = 2e9,
+                    lan_bandwidth: float = 125e6,
+                    lan_latency: float = 100e-6,
+                    wan_bandwidth: float = 12.5e6,
+                    wan_latency: float = 50e-3,
+                    site_routing: str = "Floyd",
+                    name: str = "zoned-grid") -> Platform:
+    """A multi-site grid as a tree of routing zones.
+
+    Each site is a :class:`~repro.platform.routing.NetZone` holding a
+    gateway router and its hosts in a star; the root zone connects the
+    sites to a WAN hub router with one wide-area link per site.  A route
+    between ``site-<s>-host-<i>`` and ``site-<t>-host-<j>`` is therefore
+    ``lan(i) + wan(s) + wan(t) + lan(j)`` — resolved zone by zone, never
+    storing a per-pair table, so construction and memory stay O(hosts)
+    even at 10⁵ hosts.
+
+    ``site_routing`` picks the intra-site strategy (``"Floyd"`` by
+    default, exercising the precomputed table; ``"Dijkstra"`` and
+    ``"Full"`` work too — ``"Full"`` declares the O(hosts_per_site²)
+    explicit pair routes, so keep the default for large sites).
+    """
+    if num_sites < 1:
+        raise ValueError("a zoned grid needs at least one site")
+    if hosts_per_site < 1:
+        raise ValueError("a zoned grid needs at least one host per site")
+    platform = Platform(name)
+    hub = platform.add_router("wan-hub")
+    for s in range(num_sites):
+        site = platform.add_zone(f"site-{s}", routing=site_routing)
+        gw = site.add_router(f"site-{s}-gw")     # first node => default gateway
+        for i in range(hosts_per_site):
+            host = site.add_host(f"site-{s}-host-{i}", host_speed)
+            link = platform.add_link(f"site-{s}-lan-{i}", lan_bandwidth,
+                                     lan_latency)
+            if site_routing == "Full":
+                # Full has no transitive closure: declare every pair.
+                site.add_route(host.name, gw, [link.name])
+                for j in range(i):
+                    site.add_route(f"site-{s}-host-{j}", host.name,
+                                   [f"site-{s}-lan-{j}", link.name])
+            else:
+                site.connect(host.name, gw, link.name)
+        platform.add_link(f"wan-{s}", wan_bandwidth, wan_latency)
+        platform.connect(hub, site.name, f"wan-{s}")
     return platform

@@ -30,14 +30,28 @@ __all__ = ["load_platform", "save_platform", "platform_to_dict",
 # ----------------------------------------------------------------------------------
 
 def platform_to_dict(platform: Platform) -> Dict:
-    """Serialize a platform description (not its realization) to a dict."""
+    """Serialize a platform description (not its realization) to a dict.
+
+    The zone tree round-trips: each zone records its routing strategy,
+    parent and gateway; hosts and routers carry a ``zone`` field when
+    declared outside the root zone; edges and explicit routes are
+    collected across every zone (re-adding them infers the zone from the
+    vertices).  A flat platform serializes exactly as before (no
+    ``zones`` key, plain router name list).
+    """
     def trace_to_list(trace: Optional[Trace]):
         if trace is None:
             return None
         return {"events": [[e.time, e.value] for e in trace.events],
                 "period": trace.period}
 
-    return {
+    def zone_name(node: str) -> Optional[str]:
+        zone = platform.zone_of(node)
+        return None if zone is platform.root_zone else zone.name
+
+    all_zones = [zone for zone in platform.root_zone.iter_subtree()
+                 if zone is not platform.root_zone]
+    data = {
         "name": platform.name,
         "hosts": [
             {
@@ -47,10 +61,16 @@ def platform_to_dict(platform: Platform) -> Dict:
                 "availability_trace": trace_to_list(spec.availability_trace),
                 "state_trace": trace_to_list(spec.state_trace),
                 "properties": spec.properties,
+                **({"zone": zone_name(spec.name)}
+                   if zone_name(spec.name) else {}),
             }
             for spec in platform.hosts.values()
         ],
-        "routers": sorted(platform.routers),
+        "routers": [
+            name if zone_name(name) is None
+            else {"name": name, "zone": zone_name(name)}
+            for name in sorted(platform.routers)
+        ],
         "links": [
             {
                 "name": spec.name,
@@ -64,16 +84,39 @@ def platform_to_dict(platform: Platform) -> Dict:
         ],
         "edges": [
             {"a": a, "b": b, "link": link}
-            for a, neighbours in sorted(platform.adjacency.items())
+            for zone in platform.root_zone.iter_subtree()
+            for a, neighbours in sorted(zone.adjacency.items())
             for b, link in neighbours
             if a < b  # each undirected edge appears once
         ],
         "routes": [
             {"src": spec.src, "dst": spec.dst, "links": spec.links,
              "symmetric": spec.symmetric}
-            for spec in platform.routes.values()
+            for zone in platform.root_zone.iter_subtree()
+            for spec in zone.routes.values()
         ],
     }
+    def effective_gateway(zone) -> Optional[str]:
+        # Serialize the *resolved* gateway node: the implicit default is
+        # "first declared node", which reloading would not preserve (hosts
+        # are re-declared before routers), so pin it explicitly.
+        try:
+            return zone.gateway
+        except PlatformError:
+            return None
+
+    if all_zones:
+        data["zones"] = [
+            {
+                "name": zone.name,
+                "routing": zone.routing,
+                "parent": (None if zone.parent is platform.root_zone
+                           else zone.parent.name),
+                "gateway": effective_gateway(zone),
+            }
+            for zone in all_zones
+        ]
+    return data
 
 
 def platform_from_dict(data: Dict) -> Platform:
@@ -85,15 +128,26 @@ def platform_from_dict(data: Dict) -> Platform:
                      period=obj.get("period"))
 
     platform = Platform(data.get("name", "platform"))
+    # Zones first (depth-first serialization order guarantees parents
+    # precede children), then the nodes that reference them.
+    for zone in data.get("zones", []):
+        platform.add_zone(zone["name"], routing=zone.get("routing",
+                                                         "Dijkstra"),
+                          parent=zone.get("parent"),
+                          gateway=zone.get("gateway"))
     for host in data.get("hosts", []):
         platform.add_host(host["name"], host["speed"],
                           cores=host.get("cores", 1),
                           availability_trace=trace_from(
                               host.get("availability_trace")),
                           state_trace=trace_from(host.get("state_trace")),
-                          properties=host.get("properties") or {})
+                          properties=host.get("properties") or {},
+                          zone=host.get("zone"))
     for router in data.get("routers", []):
-        platform.add_router(router)
+        if isinstance(router, dict):
+            platform.add_router(router["name"], zone=router.get("zone"))
+        else:
+            platform.add_router(router)
     for link in data.get("links", []):
         platform.add_link(link["name"], link["bandwidth"],
                           latency=link.get("latency", 0.0),
@@ -187,6 +241,7 @@ def _load_xml(text: str) -> Platform:
 
 def load_platform(path: str) -> Platform:
     """Load a platform description from a ``.json`` or ``.xml`` file."""
+    path = os.fspath(path)
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     if path.endswith(".xml") or text.lstrip().startswith("<"):

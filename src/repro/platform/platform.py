@@ -1,33 +1,43 @@
 """The virtual platform: hosts, links, routes, and their realization in SURF.
 
-The platform supports the two routing schemes needed by the paper's
-experiments:
+Routing is hierarchical (see :mod:`repro.platform.routing`): the platform
+is a tree of :class:`~repro.platform.routing.NetZone` objects, each with a
+pluggable intra-zone strategy:
 
-* **explicit (full) routing** — a route (ordered list of links) is declared
-  for each pair of endpoints, like SimGrid platform files do;
-* **graph (shortest-path) routing** — links are edges of a graph whose
-  vertices are hosts and routers; routes are computed on demand by Dijkstra
-  on the link latencies.  This is what the BRITE-generated random topologies
-  of the validation experiment use.
+* **Full** — a route (ordered list of links) is declared for each pair of
+  vertices, like SimGrid platform files do;
+* **Dijkstra** — links are edges of a graph; routes are computed on demand
+  by Dijkstra on the link latencies (explicit routes win).  This is what
+  the BRITE-generated random topologies of the validation experiment use,
+  and the default of the root zone — a flat platform built through the
+  zone-less API behaves exactly as it always did;
+* **Floyd** — the all-pairs table is precomputed at first query.
 
-Both can be mixed: explicit routes take precedence, the graph is the
-fallback.
+End-to-end routes are concatenations of intra-zone segments up and down
+the zone tree, resolved on demand behind an LRU-bounded cache, so a fully
+touched platform stays O(touched) in memory instead of O(hosts²).
+
+Realization can be **eager** (every resource instantiated up front — the
+default, preserving resource creation order and therefore simulated dates
+to the bit) or **lazy** (``realize(lazy=True)``): hosts, links and their
+SURF resources then materialize on first touch, so a 10⁵-host topology
+loads in O(touched).
 """
 
 from __future__ import annotations
 
-import heapq
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import NoRouteError, PlatformError
+from repro.platform.routing import LRUCache, NetZone, resolve_route
 from repro.surf.cpu import CpuResource
 from repro.surf.engine import SurfEngine
 from repro.surf.network import LinkResource
 from repro.surf.trace import Trace
 
-__all__ = ["HostSpec", "LinkSpec", "RouteSpec", "Platform", "RealizedHost"]
+__all__ = ["HostSpec", "LinkSpec", "RouteSpec", "Platform", "RealizedHost",
+           "NetZone"]
 
 
 @dataclass
@@ -68,7 +78,7 @@ class LinkSpec:
 
 @dataclass
 class RouteSpec:
-    """An explicit route between two endpoints (hosts or routers)."""
+    """An explicit route between two endpoints (hosts, routers or zones)."""
 
     src: str
     dst: str
@@ -85,48 +95,120 @@ class RealizedHost:
 
 
 class Platform:
-    """A complete platform description plus (after realization) its resources."""
+    """A complete platform description plus (after realization) its resources.
 
-    def __init__(self, name: str = "platform") -> None:
+    Parameters
+    ----------
+    name:
+        Display name.
+    route_cache_size:
+        Bound of the two route LRU caches (resolved link-name routes and
+        realized resource routes).  ``None`` removes the bound.
+    """
+
+    def __init__(self, name: str = "platform",
+                 route_cache_size: Optional[int] = 16384) -> None:
         self.name = name
         self.hosts: Dict[str, HostSpec] = {}
         self.routers: Dict[str, str] = {}            # name -> name (a set, really)
         self.links: Dict[str, LinkSpec] = {}
-        self.routes: Dict[Tuple[str, str], RouteSpec] = {}
-        # graph routing: adjacency  node -> list of (neighbour, link_name)
-        self.adjacency: Dict[str, List[Tuple[str, str]]] = {}
+        # The zone tree.  The root zone holds every node declared through
+        # the flat (zone-less) API; its Dijkstra strategy with
+        # explicit-route precedence is the legacy flat behaviour.
+        self.root_zone = NetZone(self, "root", parent=None, routing="Dijkstra")
+        self.zones: Dict[str, NetZone] = {}
+        self._node_zone: Dict[str, NetZone] = {}
         # realization state
         self._realized = False
+        self._lazy = False
         self.engine: Optional[SurfEngine] = None
         self.cpu_by_host: Dict[str, CpuResource] = {}
         self.link_by_name: Dict[str, LinkResource] = {}
-        self._route_cache: Dict[Tuple[str, str], List[str]] = {}
-        # name->resource resolution of realized routes, memoized per
-        # endpoint pair: the topology is frozen once realized, so the s4u
-        # comm hot path must not re-resolve link names on every transfer.
-        self._resource_route_cache: Dict[Tuple[str, str],
-                                         List[LinkResource]] = {}
+        # Route resolution is on-demand behind LRU-bounded caches: names
+        # per (src, dst), and — after realization — the resolved
+        # LinkResource tuples the s4u comm hot path consumes.
+        self.route_cache_size = route_cache_size
+        self._route_cache: LRUCache = LRUCache(route_cache_size)
+        self._resource_route_cache: LRUCache = LRUCache(route_cache_size)
 
-    # -- description ------------------------------------------------------------
+    # -- legacy flat views of the root zone -------------------------------------------
+    @property
+    def routes(self) -> Dict[Tuple[str, str], RouteSpec]:
+        """Explicit routes of the root zone (legacy flat attribute)."""
+        return self.root_zone.routes
+
+    @property
+    def adjacency(self) -> Dict[str, List[Tuple[str, str]]]:
+        """Graph edges of the root zone (legacy flat attribute)."""
+        return self.root_zone.adjacency
+
+    # -- description ------------------------------------------------------------------
+    def add_zone(self, name: str, routing: str = "Dijkstra",
+                 parent: Optional[Union[str, NetZone]] = None,
+                 gateway: Optional[str] = None) -> NetZone:
+        """Create a routing zone (child of ``parent``, default the root).
+
+        ``routing`` picks the intra-zone strategy (``"Full"``,
+        ``"Dijkstra"`` or ``"Floyd"``); ``gateway`` optionally names the
+        node (or child zone) through which routes enter and leave.
+        """
+        self._check_not_realized()
+        parent_zone = self._resolve_zone(parent)
+        if name in self.zones or name in self.hosts or name in self.routers:
+            raise PlatformError(f"duplicate zone name {name!r}")
+        zone = NetZone(self, name, parent_zone, routing=routing,
+                       gateway=gateway)
+        self.zones[name] = zone
+        self._invalidate_route_caches()
+        return zone
+
+    def zone(self, name: str) -> NetZone:
+        """Lookup a zone by name (the root zone is ``platform.root_zone``)."""
+        try:
+            return self.zones[name]
+        except KeyError:
+            raise PlatformError(f"unknown zone {name!r}") from None
+
+    def zone_of(self, node_name: str) -> NetZone:
+        """The zone a host or router was declared in."""
+        self._check_node(node_name)
+        return self._node_zone[node_name]
+
+    def _resolve_zone(self, zone: Optional[Union[str, NetZone]]) -> NetZone:
+        if zone is None:
+            return self.root_zone
+        if isinstance(zone, NetZone):
+            if zone.platform is not self:
+                raise PlatformError(
+                    f"zone {zone.name!r} belongs to another platform")
+            return zone
+        return self.zone(zone)
+
     def add_host(self, name: str, speed: float, cores: int = 1,
                  availability_trace: Optional[Trace] = None,
                  state_trace: Optional[Trace] = None,
-                 properties: Optional[Dict[str, str]] = None) -> HostSpec:
+                 properties: Optional[Dict[str, str]] = None,
+                 zone: Optional[Union[str, NetZone]] = None) -> HostSpec:
         """Declare a host.  ``speed`` is in flop/s."""
         self._check_not_realized()
-        if name in self.hosts or name in self.routers:
-            raise PlatformError(f"duplicate node name {name!r}")
+        zone_obj = self._resolve_zone(zone)
+        self._check_fresh_node_name(name)
         spec = HostSpec(name, speed, cores, availability_trace, state_trace,
                         dict(properties or {}))
         self.hosts[name] = spec
+        zone_obj.nodes[name] = None
+        self._node_zone[name] = zone_obj
         return spec
 
-    def add_router(self, name: str) -> str:
+    def add_router(self, name: str,
+                   zone: Optional[Union[str, NetZone]] = None) -> str:
         """Declare a router: a routing-only node without a CPU."""
         self._check_not_realized()
-        if name in self.hosts or name in self.routers:
-            raise PlatformError(f"duplicate node name {name!r}")
+        zone_obj = self._resolve_zone(zone)
+        self._check_fresh_node_name(name)
         self.routers[name] = name
+        zone_obj.nodes[name] = None
+        self._node_zone[name] = zone_obj
         return name
 
     def add_link(self, name: str, bandwidth: float, latency: float = 0.0,
@@ -144,34 +226,58 @@ class Platform:
 
     def add_route(self, src: str, dst: str, links: Sequence[str],
                   symmetric: bool = True) -> RouteSpec:
-        """Declare an explicit route between two nodes."""
+        """Declare an explicit route between two vertices of one zone.
+
+        Both endpoints must be vertices of the same zone: nodes declared
+        directly in it, or names of its child zones.
+        """
         self._check_not_realized()
-        self._check_node(src)
-        self._check_node(dst)
-        for link in links:
-            if link not in self.links:
-                raise PlatformError(f"route {src}->{dst}: unknown link {link!r}")
-        spec = RouteSpec(src, dst, list(links), symmetric)
-        self.routes[(src, dst)] = spec
-        if symmetric:
-            self.routes.setdefault((dst, src),
-                                   RouteSpec(dst, src, list(reversed(links)),
-                                             symmetric))
+        zone = self._common_zone_of_vertices(src, dst)
+        spec = zone.add_route(src, dst, links, symmetric)
+        self._invalidate_route_caches()
         return spec
 
     def connect(self, node_a: str, node_b: str, link_name: str) -> None:
-        """Declare a graph edge: ``link_name`` joins ``node_a`` and ``node_b``.
+        """Declare a graph edge: ``link_name`` joins two vertices.
 
-        Routes between nodes without an explicit route are computed with
-        Dijkstra over these edges.
+        Routes between vertices without an explicit route are computed by
+        the zone's strategy over these edges.  Vertices naming child zones
+        attach the link at the zone's gateway (an inter-zone link).
         """
         self._check_not_realized()
-        self._check_node(node_a)
-        self._check_node(node_b)
-        if link_name not in self.links:
-            raise PlatformError(f"unknown link {link_name!r}")
-        self.adjacency.setdefault(node_a, []).append((node_b, link_name))
-        self.adjacency.setdefault(node_b, []).append((node_a, link_name))
+        zone = self._common_zone_of_vertices(node_a, node_b)
+        zone.connect(node_a, node_b, link_name)
+        self._invalidate_route_caches()
+
+    def _common_zone_of_vertices(self, name_a: str, name_b: str) -> NetZone:
+        """The zone that has both names as vertices (node or child zone)."""
+        zone_a = self._vertex_zone(name_a)
+        zone_b = self._vertex_zone(name_b)
+        if zone_a is not zone_b:
+            raise PlatformError(
+                f"{name_a!r} (zone {zone_a.name!r}) and {name_b!r} "
+                f"(zone {zone_b.name!r}) are not vertices of the same zone; "
+                "connect their zones in the common ancestor instead")
+        return zone_a
+
+    def _vertex_zone(self, name: str) -> NetZone:
+        """The zone in which ``name`` is a vertex."""
+        zone = self._node_zone.get(name)
+        if zone is not None:
+            return zone
+        child = self.zones.get(name)
+        if child is not None:
+            if child.parent is None:
+                raise PlatformError(f"zone {name!r} has no parent zone")
+            return child.parent
+        raise PlatformError(f"unknown node or zone {name!r}")
+
+    def _check_fresh_node_name(self, name: str) -> None:
+        if name in self.hosts or name in self.routers:
+            raise PlatformError(f"duplicate node name {name!r}")
+        if name in self.zones:
+            raise PlatformError(
+                f"node name {name!r} collides with a zone name")
 
     def _check_node(self, name: str) -> None:
         if name not in self.hosts and name not in self.routers:
@@ -182,72 +288,53 @@ class Platform:
             raise PlatformError(
                 "the platform was already realized; describe it fully first")
 
+    def _invalidate_route_caches(self) -> None:
+        """Topology changed pre-realization: drop memoized routes."""
+        self._route_cache.clear()
+        self._resource_route_cache.clear()
+
     # -- routing ------------------------------------------------------------------
     def route_links(self, src: str, dst: str) -> List[str]:
         """Ordered link names of the route from ``src`` to ``dst``.
 
-        An explicit route wins; otherwise a shortest path (by latency, with
-        hop count as tie-breaker) is computed over the graph edges.  A
-        loopback route (``src == dst``) is the empty list.
+        The route is resolved on demand across the zone tree (see
+        :mod:`repro.platform.routing`) and memoized in an LRU-bounded
+        cache.  The returned list is a fresh copy — mutating it never
+        corrupts the cache.  A loopback route (``src == dst``) is the
+        empty list.
         """
         self._check_node(src)
         self._check_node(dst)
         if src == dst:
             return []
         key = (src, dst)
-        if key in self._route_cache:
-            return self._route_cache[key]
-        if key in self.routes:
-            links = list(self.routes[key].links)
-        else:
-            links = self._dijkstra(src, dst)
-        self._route_cache[key] = links
-        return links
-
-    def _dijkstra(self, src: str, dst: str) -> List[str]:
-        if src not in self.adjacency:
-            raise NoRouteError(f"no route from {src!r} to {dst!r}")
-        dist: Dict[str, float] = {src: 0.0}
-        prev: Dict[str, Tuple[str, str]] = {}
-        heap: List[Tuple[float, int, str]] = [(0.0, 0, src)]
-        counter = 1
-        visited = set()
-        while heap:
-            d, _, node = heapq.heappop(heap)
-            if node in visited:
-                continue
-            visited.add(node)
-            if node == dst:
-                break
-            for neighbour, link_name in self.adjacency.get(node, []):
-                link = self.links[link_name]
-                # latency as primary weight; tiny epsilon so hop count breaks ties
-                weight = link.latency + 1e-9
-                nd = d + weight
-                if neighbour not in dist or nd < dist[neighbour] - 1e-15:
-                    dist[neighbour] = nd
-                    prev[neighbour] = (node, link_name)
-                    heapq.heappush(heap, (nd, counter, neighbour))
-                    counter += 1
-        if dst not in prev and dst != src:
-            raise NoRouteError(f"no route from {src!r} to {dst!r}")
-        # reconstruct
-        path: List[str] = []
-        node = dst
-        while node != src:
-            parent, link_name = prev[node]
-            path.append(link_name)
-            node = parent
-        path.reverse()
-        return path
+        links = self._route_cache.get(key)
+        if links is None:
+            links = tuple(resolve_route(self, src, dst))
+            self._route_cache.put(key, links)
+        return list(links)
 
     def route_latency(self, src: str, dst: str) -> float:
         """Sum of the latencies along the route from ``src`` to ``dst``."""
         return sum(self.links[name].latency for name in self.route_links(src, dst))
 
+    def route_cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Counters of the two route caches (routing's observable contract)."""
+        return {"routes": self._route_cache.stats(),
+                "resource_routes": self._resource_route_cache.stats()}
+
     # -- realization -----------------------------------------------------------------
-    def realize(self, engine: Optional[SurfEngine] = None) -> SurfEngine:
-        """Instantiate every host CPU and link inside a SURF engine.
+    def realize(self, engine: Optional[SurfEngine] = None,
+                lazy: bool = False) -> SurfEngine:
+        """Instantiate host CPUs and links inside a SURF engine.
+
+        Eager (default): every resource is created up front, in
+        declaration order — the legacy behaviour, preserving simulated
+        dates bit-for-bit.  Lazy (``lazy=True``): resources materialize on
+        first touch (``cpu_of``, ``route_resources``, ``link_resource``),
+        so a huge platform realizes in O(touched); only resources carrying
+        traces are materialized immediately (their events must be able to
+        fire whether or not the resource is otherwise used).
 
         Returns the engine (creating a fresh one when none is supplied).
         Realization may only happen once per Platform instance.
@@ -255,54 +342,102 @@ class Platform:
         if self._realized:
             raise PlatformError("platform already realized")
         engine = engine or SurfEngine()
-        for spec in self.hosts.values():
-            cpu = engine.cpu_model.add_cpu(
-                spec.name, spec.speed, spec.cores,
-                availability_trace=spec.availability_trace,
-                state_trace=spec.state_trace)
-            engine.register_resource_traces(cpu)
-            self.cpu_by_host[spec.name] = cpu
-        for spec in self.links.values():
-            link = engine.network_model.add_link(
-                spec.name, spec.bandwidth, spec.latency, spec.shared,
-                bandwidth_trace=spec.bandwidth_trace,
-                state_trace=spec.state_trace)
-            engine.register_resource_traces(link)
-            self.link_by_name[spec.name] = link
         self.engine = engine
+        self._lazy = lazy
         self._realized = True
+        if lazy:
+            for spec in self.hosts.values():
+                if (spec.availability_trace is not None
+                        or spec.state_trace is not None):
+                    self._materialize_cpu(spec)
+            for spec in self.links.values():
+                if (spec.bandwidth_trace is not None
+                        or spec.state_trace is not None):
+                    self._materialize_link(spec)
+        else:
+            for spec in self.hosts.values():
+                self._materialize_cpu(spec)
+            for spec in self.links.values():
+                self._materialize_link(spec)
         return engine
+
+    def _materialize_cpu(self, spec: HostSpec) -> CpuResource:
+        cpu = self.engine.cpu_model.add_cpu(
+            spec.name, spec.speed, spec.cores,
+            availability_trace=spec.availability_trace,
+            state_trace=spec.state_trace)
+        self.engine.register_resource_traces(cpu)
+        self.cpu_by_host[spec.name] = cpu
+        return cpu
+
+    def _materialize_link(self, spec: LinkSpec) -> LinkResource:
+        link = self.engine.network_model.add_link(
+            spec.name, spec.bandwidth, spec.latency, spec.shared,
+            bandwidth_trace=spec.bandwidth_trace,
+            state_trace=spec.state_trace)
+        self.engine.register_resource_traces(link)
+        self.link_by_name[spec.name] = link
+        return link
 
     @property
     def realized(self) -> bool:
         """Whether :meth:`realize` has been called."""
         return self._realized
 
-    def route_resources(self, src: str, dst: str) -> List[LinkResource]:
+    @property
+    def lazy(self) -> bool:
+        """Whether the platform was realized lazily."""
+        return self._realized and self._lazy
+
+    def link_resource(self, name: str) -> LinkResource:
+        """The realized :class:`LinkResource` of a link (materializing it)."""
+        if not self._realized:
+            raise PlatformError("platform not realized yet")
+        link = self.link_by_name.get(name)
+        if link is None:
+            spec = self.links.get(name)
+            if spec is None:
+                raise PlatformError(f"unknown link {name!r}")
+            if not self._lazy:
+                raise PlatformError(
+                    f"link {name!r} missing from an eagerly realized "
+                    "platform (realization is inconsistent)")
+            link = self._materialize_link(spec)
+        return link
+
+    def route_resources(self, src: str, dst: str) -> Tuple[LinkResource, ...]:
         """The realized :class:`LinkResource` objects along a route.
 
-        Memoized per ``(src, dst)``: realization freezes the topology, so
-        the resolved list is computed once and the cached list itself is
-        returned afterwards — callers must treat it as read-only.
+        Returns a **tuple** — route lists are read-only by contract (PR 5)
+        and a tuple enforces it.  Memoized per ``(src, dst)`` in an
+        LRU-bounded cache; on a lazily realized platform the links of the
+        route materialize here, on first touch.
         """
         if not self._realized:
             raise PlatformError("platform not realized yet")
         key = (src, dst)
         links = self._resource_route_cache.get(key)
         if links is None:
-            links = [self.link_by_name[name]
-                     for name in self.route_links(src, dst)]
-            self._resource_route_cache[key] = links
+            links = tuple(self.link_resource(name)
+                          for name in self.route_links(src, dst))
+            self._resource_route_cache.put(key, links)
         return links
 
     def cpu_of(self, host_name: str) -> CpuResource:
-        """The realized CPU of a host."""
+        """The realized CPU of a host (materializing it when lazy)."""
         if not self._realized:
             raise PlatformError("platform not realized yet")
-        try:
-            return self.cpu_by_host[host_name]
-        except KeyError:
-            raise PlatformError(f"unknown host {host_name!r}") from None
+        cpu = self.cpu_by_host.get(host_name)
+        if cpu is None:
+            spec = self.hosts.get(host_name)
+            if spec is None:
+                raise PlatformError(f"unknown host {host_name!r}")
+            if not self._lazy:
+                raise PlatformError(
+                    f"host {host_name!r} missing from an eagerly realized "
+                    "platform (realization is inconsistent)")
+            cpu = self._materialize_cpu(spec)
+        return cpu
 
     # -- introspection ------------------------------------------------------------------
     def host_names(self) -> List[str]:
@@ -315,4 +450,5 @@ class Platform:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Platform(name={self.name!r}, hosts={len(self.hosts)}, "
-                f"routers={len(self.routers)}, links={len(self.links)})")
+                f"routers={len(self.routers)}, links={len(self.links)}, "
+                f"zones={len(self.zones)})")

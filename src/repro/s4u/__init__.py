@@ -34,9 +34,9 @@ Quickstart (generator contexts: blocking calls are ``yield``-ed)::
     engine.run()
 
 s4u is the canonical API of the package: GRAS (simulation mode), SMPI and
-AMOK drive these classes directly, and the paper's MSG API
-(:mod:`repro.msg`) survives only as a deprecated compatibility shim over
-them — every simulation executes on this one engine.
+AMOK drive these classes directly — every simulation executes on this one
+engine.  (The paper's MSG API was retired after a deprecation cycle; its
+names map to Engine/Actor/mailbox payloads.)
 """
 
 from repro.s4u import this_actor

@@ -13,11 +13,8 @@ The engine is the orchestrator tying everything together (SimGrid's
   reports (host failure, transfer failure, timeouts).
 
 GRAS (in simulation mode), SMPI and AMOK drive this engine directly
-through the s4u actor/mailbox/activity objects; the deprecated MSG shim
-(:class:`repro.msg.Environment`) is a thin adapter over it: an MSG
-*process* is an S4U actor, an MSG *activity* is an S4U activity, and the
-MSG blocking helpers build the very same kernel simcalls the S4U
-mailbox/activity methods build.
+through the s4u actor/mailbox/activity objects — there is exactly one
+simulation loop in the package and this is it.
 """
 
 from __future__ import annotations
@@ -88,17 +85,23 @@ class Engine:
         self.recorder = recorder
         self.raise_on_deadlock = raise_on_deadlock
 
+        # On a lazily realized platform only the already-materialized
+        # resources (those carrying traces) get wrappers up front; the rest
+        # materialize on first lookup, keeping engine construction
+        # O(touched) for 10⁵-host platforms.
+        self._lazy_platform = platform.lazy
         self.hosts: Dict[str, Host] = {}
-        for name, spec in platform.hosts.items():
-            self.hosts[name] = Host(self, spec, platform.cpu_by_host[name])
-        self._host_by_cpu: Dict[int, Host] = {
-            id(host.cpu): host for host in self.hosts.values()}
+        self._host_by_cpu: Dict[int, Host] = {}
+        names = (platform.cpu_by_host if self._lazy_platform
+                 else platform.hosts)
+        for name in names:
+            self._materialize_host(name)
 
         self.links: Dict[str, Link] = {}
-        for name, resource in platform.link_by_name.items():
-            self.links[name] = Link(self, resource)
-        self._link_by_resource: Dict[int, Link] = {
-            id(link.resource): link for link in self.links.values()}
+        self._link_by_resource: Dict[int, Link] = {}
+        for name in list(platform.link_by_name
+                         if self._lazy_platform else platform.links):
+            self._materialize_link(name)
 
         self.mailboxes: Dict[str, Mailbox] = {}
         self.actors: List[Actor] = []
@@ -131,17 +134,32 @@ class Engine:
     def engine(self):
         """The underlying :class:`~repro.surf.engine.SurfEngine`.
 
-        Kept under the historical MSG name (``Environment.engine``) so the
-        pre-s4u call sites keep working.
+        Kept under its historical name so pre-s4u call sites keep
+        working.
         """
         return self.surf
 
+    def _materialize_host(self, name: str) -> Host:
+        host = Host(self, self.platform.hosts[name],
+                    self.platform.cpu_of(name))
+        self.hosts[name] = host
+        self._host_by_cpu[id(host.cpu)] = host
+        return host
+
+    def _materialize_link(self, name: str) -> Link:
+        link = Link(self, self.platform.link_resource(name))
+        self.links[name] = link
+        self._link_by_resource[id(link.resource)] = link
+        return link
+
     def host(self, name: str) -> Host:
-        """Lookup a host by name."""
-        try:
-            return self.hosts[name]
-        except KeyError:
-            raise PlatformError(f"unknown host {name!r}") from None
+        """Lookup a host by name (materializing it on a lazy platform)."""
+        host = self.hosts.get(name)
+        if host is None:
+            if self._lazy_platform and name in self.platform.hosts:
+                return self._materialize_host(name)
+            raise PlatformError(f"unknown host {name!r}")
+        return host
 
     def host_by_name(self, name: str) -> Host:
         """Alias of :meth:`host` (``Engine.host_by_name``)."""
@@ -149,10 +167,12 @@ class Engine:
 
     def link_by_name(self, name: str) -> Link:
         """Lookup a link by name (S4U ``Link::by_name``)."""
-        try:
-            return self.links[name]
-        except KeyError:
-            raise PlatformError(f"unknown link {name!r}") from None
+        link = self.links.get(name)
+        if link is None:
+            if self._lazy_platform and name in self.platform.links:
+                return self._materialize_link(name)
+            raise PlatformError(f"unknown link {name!r}")
+        return link
 
     def mailbox(self, name: str) -> Mailbox:
         """Get (or lazily create) a mailbox by name."""

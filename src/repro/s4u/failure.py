@@ -172,7 +172,11 @@ class FailureInjector:
         duration too, defaulting to the injector's own ``until``.
         """
         if isinstance(target, str):
-            target = (self.engine.hosts[target] if target in self.engine.hosts
+            # Resolve against the platform description, not engine.hosts:
+            # on a lazily realized platform the wrapper may not exist yet
+            # (engine.host materializes it).
+            target = (self.engine.host(target)
+                      if target in self.engine.platform.hosts
                       else self.engine.link_by_name(target))
         limit = until if until is not None else self.until
         if trace.period is not None and limit is None:

@@ -2,8 +2,7 @@
 
 Facade over a platform host and its realized CPU resource.  It exposes the
 host speed and load, carries the per-host "data" dictionary applications
-can hang state on, and lists the actors currently running on it.  The MSG
-``Host`` is this very class (re-exported by :mod:`repro.msg.host`).
+can hang state on, and lists the actors currently running on it.
 """
 
 from __future__ import annotations

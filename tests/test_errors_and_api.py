@@ -1,4 +1,4 @@
-"""Tests for the exception hierarchy, MSG error codes and package facade."""
+"""Tests for the exception hierarchy and package facade."""
 
 import pytest
 
@@ -13,7 +13,6 @@ from repro.exceptions import (
     SimTimeoutError,
     TransferFailureError,
 )
-from repro.msg.errors import MsgError, error_of_exception, exception_of_error
 
 
 class TestExceptionHierarchy:
@@ -32,33 +31,18 @@ class TestExceptionHierarchy:
         assert issubclass(NoRouteError, PlatformError)
 
 
-class TestMsgErrorCodes:
-    @pytest.mark.parametrize("exc,code", [
-        (None, MsgError.OK),
-        (HostFailureError("x"), MsgError.HOST_FAILURE),
-        (TransferFailureError("x"), MsgError.TRANSFER_FAILURE),
-        (SimTimeoutError("x"), MsgError.TIMEOUT),
-        (CancelledError("x"), MsgError.TASK_CANCELED),
-    ])
-    def test_error_of_exception(self, exc, code):
-        assert error_of_exception(exc) is code
+class TestRemovedMsgApi:
+    """The deprecated MSG shim is gone; its names fail with clear errors."""
 
-    def test_unknown_simgrid_error_maps_to_transfer_failure(self):
-        assert error_of_exception(DeadlockError("x")) is MsgError.TRANSFER_FAILURE
+    @pytest.mark.parametrize("name", ["Environment", "Process",
+                                      "ProcessState", "Task"])
+    def test_legacy_names_raise_import_error(self, name):
+        with pytest.raises(ImportError, match="repro.s4u"):
+            getattr(repro, name)
 
-    def test_non_simulation_error_rejected(self):
-        with pytest.raises(TypeError):
-            error_of_exception(ValueError("not ours"))
-
-    def test_exception_of_error_round_trip(self):
-        assert exception_of_error(MsgError.OK) is None
-        exc = exception_of_error(MsgError.TIMEOUT, "too slow")
-        assert isinstance(exc, SimTimeoutError)
-        assert "too slow" in str(exc)
-        for code in (MsgError.HOST_FAILURE, MsgError.TRANSFER_FAILURE,
-                     MsgError.TASK_CANCELED):
-            rebuilt = exception_of_error(code)
-            assert error_of_exception(rebuilt) is code
+    def test_msg_package_is_gone(self):
+        with pytest.raises(ImportError):
+            import repro.msg  # noqa: F401
 
 
 class TestPackageFacade:

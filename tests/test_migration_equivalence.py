@@ -8,10 +8,9 @@ the simulation semantics, not just the plumbing.
 
 The file also covers the s4u primitives the port introduced
 (``Comm.detach``, mailbox probe/peek, the SMPI ``Request``
-wait/test/waitany machinery) and a direct MSG-shim vs s4u cross-check.
+wait/test/waitany machinery) and pins the workload that once
+cross-checked the (since removed) MSG compatibility shim.
 """
-
-import warnings
 
 import pytest
 
@@ -197,42 +196,23 @@ class TestAmokDates:
 
 
 # ---------------------------------------------------------------------------------
-# MSG shim vs s4u: one workload, two APIs, identical dates
+# The workload that once validated the MSG shim, pinned on s4u
 # ---------------------------------------------------------------------------------
-class TestShimEquivalence:
-    def test_msg_shim_and_s4u_produce_identical_final_time(self):
-        def run_s4u():
-            engine = Engine(make_star(num_hosts=2))
+class TestPinnedShimWorkload:
+    def test_ping_then_compute_final_time_is_pinned(self):
+        """The shim-equivalence workload's date, pinned since the shim left."""
+        engine = Engine(make_star(num_hosts=2))
 
-            def sender(actor):
-                yield actor.engine.mailbox("box").put("ping", size=1e6)
+        def sender(actor):
+            yield actor.engine.mailbox("box").put("ping", size=1e6)
 
-            def receiver(actor):
-                yield actor.engine.mailbox("box").get()
-                yield actor.execute(1e9)
+        def receiver(actor):
+            yield actor.engine.mailbox("box").get()
+            yield actor.execute(1e9)
 
-            engine.add_actor("sender", "leaf-0", sender)
-            engine.add_actor("receiver", "leaf-1", receiver)
-            return engine.run()
-
-        def run_msg():
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                from repro.msg import Environment, Task
-            env = Environment(make_star(num_hosts=2))
-
-            def sender(proc):
-                yield proc.send(Task("ping", data_size=1e6), "box")
-
-            def receiver(proc):
-                yield proc.receive("box")
-                yield proc.execute(1e9)
-
-            env.create_process("sender", "leaf-0", sender)
-            env.create_process("receiver", "leaf-1", receiver)
-            return env.run()
-
-        assert run_s4u() == run_msg()
+        engine.add_actor("sender", "leaf-0", sender)
+        engine.add_actor("receiver", "leaf-1", receiver)
+        assert engine.run() == pytest.approx(1.09, abs=0, rel=0)
 
 
 # ---------------------------------------------------------------------------------

@@ -496,28 +496,8 @@ class TestActorLifecycle:
             s4u.current_actor()
 
 
-class TestMsgInterop:
-    def test_msg_environment_is_an_s4u_engine(self):
-        from repro import Environment
-        env = Environment(make_star(num_hosts=2))
-        assert isinstance(env, Engine)
-
-    def test_msg_task_travels_through_s4u_mailbox(self):
-        """MSG processes and s4u actors share mailboxes and the engine."""
-        from repro import Environment, Task
-        env = Environment(pair_platform())
-        got = {}
-
-        def msg_sender(proc):
-            yield proc.send(Task("t", data_size=1e6, payload=41), "box")
-
-        def s4u_receiver(actor):
-            task = yield env.mailbox("box").get()
-            got["name"] = task.name
-            got["payload"] = task.payload
-            got["sender"] = task.sender.name
-
-        env.create_process("s", "alice", msg_sender)
-        env.add_actor("r", "bob", s4u_receiver)
-        env.run()
-        assert got == {"name": "t", "payload": 41, "sender": "s"}
+class TestRemovedMsgShim:
+    def test_legacy_environment_points_at_s4u(self):
+        import repro
+        with pytest.raises(ImportError, match="s4u.Engine"):
+            repro.Environment

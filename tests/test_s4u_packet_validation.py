@@ -62,14 +62,14 @@ class TestS4uVsPacket:
                 f"flow {idx}: fluid {f_rate:.0f} vs packet {p_rate:.0f} "
                 f"({relative_gap:.1%} apart)")
 
-    def test_s4u_matches_the_msg_shim_rates(self):
-        """The s4u expression of the pattern is the same simulation."""
+    def test_two_flow_rate_helpers_agree(self):
+        """Both s4u helper formulations produce the same simulation."""
         flows = [("left-0", "right-0"), ("left-1", "right-1")]
         size = 20e6
         s4u_rates = s4u_flow_rates(make_dumbbell(num_left=2, num_right=2),
                                    flows, size)
         from tests.test_fluid_vs_packet import fluid_flow_rates
-        msg_rates = fluid_flow_rates(make_dumbbell(num_left=2, num_right=2),
+        other_rates = fluid_flow_rates(make_dumbbell(num_left=2, num_right=2),
                                      flows, size)
-        for s_rate, m_rate in zip(s4u_rates, msg_rates):
+        for s_rate, m_rate in zip(s4u_rates, other_rates):
             assert s_rate == pytest.approx(m_rate, rel=1e-12)

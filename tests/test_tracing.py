@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro import Environment, Recorder, GanttChart, Task
+from repro import Recorder, GanttChart
 from repro.platform import Platform
+from repro.s4u import Engine
 from repro.tracing import intervals_to_csv, render_ascii_gantt
 from repro.tracing.recorder import Interval
 
@@ -41,21 +42,21 @@ class TestGanttChart:
         platform.add_link("net", 1e6, 0.001)
         platform.connect("client", "server", "net")
         recorder = Recorder()
-        env = Environment(platform, recorder=recorder)
+        engine = Engine(platform, recorder=recorder)
 
-        def client(proc):
-            yield proc.put(Task("request", 0, data_size=2e6), "server", 1)
-            yield proc.execute(2e8)
-            yield proc.get(2)
+        def client(actor):
+            yield actor.engine.mailbox("server-inbox").put("request", size=2e6)
+            yield actor.execute(2e8)
+            yield actor.engine.mailbox("client-inbox").get()
 
-        def server(proc):
-            task = yield proc.get(1)
-            yield proc.execute(3e8)
-            yield proc.put(Task("reply", 0, data_size=1e5), task.sender.host, 2)
+        def server(actor):
+            yield actor.engine.mailbox("server-inbox").get()
+            yield actor.execute(3e8)
+            yield actor.engine.mailbox("client-inbox").put("reply", size=1e5)
 
-        env.create_process("client", "client", client)
-        env.create_process("server", "server", server)
-        env.run()
+        engine.add_actor("client", "client", client)
+        engine.add_actor("server", "server", server)
+        engine.run()
         return recorder
 
     def test_simulation_records_compute_and_comm_intervals(self):
