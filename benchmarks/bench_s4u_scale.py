@@ -38,7 +38,7 @@ import math
 import sys
 import time
 
-from repro.platform import make_cluster, make_star
+from repro.platform import make_cluster, make_star, make_zoned_grid
 from repro.s4u import ActivitySet, Engine
 
 
@@ -93,6 +93,89 @@ def run_fleet(num_workers: int = 1000, rounds: int = 2,
         "activities": activities,
         "activities_per_s": activities / wall if wall > 0 else float("inf"),
         "lmm": solver_stats(engine),
+        "kernel": engine.kernel_stats(),
+    }
+
+
+def run_sharded_zones(num_hosts: int = 1000, rounds: int = 2,
+                      flops: float = 5e7, msg_bytes: float = 1e4,
+                      sharded: bool = True) -> dict:
+    """Zone-partitioned fleet: per-site sinks plus cross-zone reporting.
+
+    The PR 7 acceptance scenario for the sharded kernel: a zoned grid
+    whose sites map one-to-one onto kernel shards.  Host 0 of each site
+    runs the site's sink; the other hosts run the same overlap worker as
+    :func:`run_fleet` against their local sink, except every eighth
+    worker reports to the *next* site's sink so the WAN links and the
+    cross-shard migration path stay busy.  ``sharded=False`` runs the
+    identical workload on the flat kernel (the bit-identity reference).
+    """
+    if num_hosts >= 50_000:
+        num_sites = 64
+    elif num_hosts >= 1024:
+        num_sites = 16
+    else:
+        num_sites = 4
+    hosts_per_site = max(2, num_hosts // num_sites)
+    # Dijkstra (on-demand, early-exit) intra-site routing: Floyd would seal
+    # a per-source predecessor tree for every worker host that routes —
+    # O(hosts_per_site) memory per *source* is tens of GB at the 10⁵ rung.
+    platform = make_zoned_grid(num_sites=num_sites,
+                               hosts_per_site=hosts_per_site,
+                               host_speed=1e9, lan_bandwidth=125e6,
+                               lan_latency=1e-4, wan_bandwidth=125e6,
+                               wan_latency=1e-3,
+                               site_routing="Dijkstra")
+    engine = Engine(platform, sharded=sharded)
+    received = [0]
+
+    def sink(actor, site, total):
+        box = engine.mailbox(f"sink-{site}")
+        for _ in range(total):
+            yield box.get()
+            received[0] += 1
+
+    def worker(actor, target_site):
+        box = engine.mailbox(f"sink-{target_site}")
+        for _ in range(rounds):
+            comp = yield actor.exec_async(flops)
+            comm = yield box.put_async(actor.name, size=msg_bytes)
+            pending = ActivitySet([comp, comm])
+            while not pending.empty():
+                yield pending.wait_any()
+
+    expected = [0] * num_sites
+    index = 0
+    for s in range(num_sites):
+        for i in range(1, hosts_per_site):
+            target = (s + 1) % num_sites if index % 8 == 0 else s
+            expected[target] += rounds
+            engine.add_actor(f"worker-{s}-{i}", f"site-{s}-host-{i}",
+                             worker, target)
+            index += 1
+    for s in range(num_sites):
+        engine.add_actor(f"sink-{s}", f"site-{s}-host-0", sink, s,
+                         expected[s])
+
+    total = sum(expected)
+    peak_actors = index + num_sites
+    start = time.perf_counter()
+    simulated = engine.run()
+    wall = time.perf_counter() - start
+
+    if received[0] != total:
+        raise AssertionError(
+            f"sinks received {received[0]} of {total} messages")
+
+    activities = 2 * total   # one Exec and one Comm per message
+    return {
+        "simulated_time_s": simulated,
+        "wall_clock_s": wall,
+        "peak_actors": peak_actors,
+        "activities": activities,
+        "activities_per_s": activities / wall if wall > 0 else float("inf"),
+        "lmm": solver_stats(engine),
+        "kernel": engine.kernel_stats(),
     }
 
 

@@ -5,7 +5,7 @@ Unlike the pytest harnesses in this directory (which print paper-artefact
 tables and assert on simulated results), this runner is about the *perf
 trajectory* of the simulator itself across PRs.  It imports the scenario
 functions directly — no pytest, no plugins — times them, and writes a JSON
-report (``BENCH_PR6.json`` by default) with, per scenario and size:
+report (``BENCH_PR7.json`` by default) with, per scenario and size:
 
 * ``wall_clock_s`` — how long the simulation took for real;
 * ``events_per_s`` — simulated activity completions per wall-clock second,
@@ -65,6 +65,19 @@ def _s4u_scale(size):
         "peak_actors": result["peak_actors"],
         "events": result["activities"],
         "lmm": result["lmm"],
+        "kernel": result["kernel"],
+    }
+
+
+def _sharded_zones(size):
+    from bench_s4u_scale import run_sharded_zones
+    result = run_sharded_zones(num_hosts=size)
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "events": result["activities"],
+        "lmm": result["lmm"],
+        "kernel": result["kernel"],
     }
 
 
@@ -143,6 +156,20 @@ def _maxmin_random_solve(size):
     return {"events": size, "lmm": _lmm_counters(system)}
 
 
+def _maxmin_parallel_solve(size):
+    from bench_maxmin_sharing import parallel_vs_serial_solve
+    result = parallel_vs_serial_solve(num_components=max(2, size // 24))
+    if not result["identical"]:
+        raise AssertionError("parallel solve diverged from serial solve")
+    return {
+        "events": size,
+        "serial_s": result["serial_s"],
+        "parallel_s": result["parallel_s"],
+        "executor": result["executor"],
+        "lmm": _lmm_counters(result["system"]),
+    }
+
+
 def _maxmin_dense_bottleneck(size):
     from bench_maxmin_sharing import dense_bottleneck_solve
     system = dense_bottleneck_solve(num_variables=size)
@@ -194,13 +221,22 @@ def _platform_realize(size):
 SCENARIOS = {
     "scalability_processes": (_scalability_processes, (16, 64, 256, 512),
                               (16,)),
-    "s4u_scale": (_s4u_scale, (1000, 2000, 4000), (200,)),
+    # The PR 7 acceptance ladder: the full sweep climbs to the 10⁵-actor
+    # rung the sharded-kernel PR is judged on.
+    "s4u_scale": (_s4u_scale, (1000, 10_000, 100_000), (200,)),
+    # Zone-partitioned fleet on the sharded kernel (PR 7): sites map to
+    # shards, every eighth worker crosses zones.
+    "sharded_zones": (_sharded_zones, (1000, 10_000, 100_000), (200,)),
     "s4u_pipeline": (_s4u_pipeline, (100, 250), (25,)),
     "s4u_race": (_s4u_race, (500, 1000), (100,)),
     "s4u_churn": (_s4u_churn, (100, 250), (25,)),
     "failure_churn": (_failure_churn, (64, 256), (16,)),
     "smpi_scale": (_smpi_scale, (16, 32, 64), (8,)),
     "maxmin_random_solve": (_maxmin_random_solve, (800, 3200, 12800), (200,)),
+    # Parallel-vs-serial component solves (PR 7): same disjoint-component
+    # system solved with and without the worker pool, bit-identity checked.
+    "maxmin_parallel_solve": (_maxmin_parallel_solve,
+                              (1536, 6144, 24576), (480,)),
     "maxmin_dense_bottleneck": (_maxmin_dense_bottleneck,
                                 (800, 3200, 12800), (200,)),
     "smpi_matmul": (_smpi_matmul, (2, 4, 8), (2,)),
@@ -218,13 +254,15 @@ SCENARIOS = {
 
 #: Per-scenario wall-clock budgets for the ``--smoke`` sizes, in seconds.
 #: Generous multiples of the recorded smoke times (all a few seconds at
-#: most on the lazy kernel, see BENCH_PR6.json) so CI noise never trips them,
+#: most on the lazy kernel, see BENCH_PR7.json) so CI noise never trips them,
 #: but a solver regression that reintroduces per-round rescans still fails
 #: loudly *attributed to the scenario that caused it* instead of only
 #: blowing the job's global timeout.
 SMOKE_BUDGETS_S = {
     "scalability_processes": 10.0,
     "s4u_scale": 15.0,
+    "sharded_zones": 15.0,
+    "maxmin_parallel_solve": 15.0,
     "s4u_pipeline": 15.0,
     "s4u_race": 10.0,
     "s4u_churn": 10.0,
@@ -284,7 +322,7 @@ def main(argv=None):
                         help="with --smoke: fail when a scenario exceeds its "
                              "per-scenario wall-clock budget, naming the "
                              "offender (CI regression attribution)")
-    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR6.json"),
+    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR7.json"),
                         help="path of the JSON report (default: %(default)s)")
     args = parser.parse_args(argv)
 

@@ -31,7 +31,7 @@ class Simcall:
     __slots__ = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecuteCall(Simcall):
     """Execute ``flops`` floating point operations on ``host``.
 
@@ -47,7 +47,7 @@ class ExecuteCall(Simcall):
     name: str = "compute"
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecAsyncCall(Simcall):
     """Start an asynchronous execution: returns an ``Exec`` handle.
 
@@ -62,21 +62,21 @@ class ExecAsyncCall(Simcall):
     name: str = "compute"
 
 
-@dataclass
+@dataclass(slots=True)
 class SleepCall(Simcall):
     """Sleep for ``duration`` simulated seconds."""
 
     duration: float
 
 
-@dataclass
+@dataclass(slots=True)
 class SleepAsyncCall(Simcall):
     """Start an asynchronous sleep: returns a ``Sleep`` activity handle."""
 
     duration: float
 
 
-@dataclass
+@dataclass(slots=True)
 class SendCall(Simcall):
     """Synchronous (rendezvous) send of ``payload`` to ``mailbox``.
 
@@ -96,7 +96,7 @@ class SendCall(Simcall):
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvCall(Simcall):
     """Synchronous receive from ``mailbox`` (``MSG_task_get``).
 
@@ -108,7 +108,7 @@ class RecvCall(Simcall):
     rate: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class IsendCall(Simcall):
     """Asynchronous send: returns a communication handle immediately.
 
@@ -125,7 +125,7 @@ class IsendCall(Simcall):
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class IrecvCall(Simcall):
     """Asynchronous receive: returns a communication handle immediately."""
 
@@ -133,7 +133,7 @@ class IrecvCall(Simcall):
     rate: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class StartCall(Simcall):
     """Start a deferred (``*_init``) activity handle.
 
@@ -144,7 +144,7 @@ class StartCall(Simcall):
     activity: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitCall(Simcall):
     """Wait for an activity handle (from Isend/Irecv or an async exec).
 
@@ -157,7 +157,7 @@ class WaitCall(Simcall):
     timeout: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitAnyCall(Simcall):
     """Wait until any of several activity handles completes.
 
@@ -171,7 +171,7 @@ class WaitAnyCall(Simcall):
     owner: Optional[Any] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitAllCall(Simcall):
     """Wait until every one of several activity handles completed.
 
@@ -184,7 +184,7 @@ class WaitAllCall(Simcall):
     owner: Optional[Any] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TestCall(Simcall):
     """Non-blocking completion test of an activity handle.
 
@@ -194,28 +194,28 @@ class TestCall(Simcall):
     activity: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class KillCall(Simcall):
     """Kill ``process`` (possibly the caller itself)."""
 
     process: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class SuspendCall(Simcall):
     """Suspend ``process`` (``None`` means the caller)."""
 
     process: Optional[Any] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ResumeCall(Simcall):
     """Resume a previously suspended ``process``."""
 
     process: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinCall(Simcall):
     """Block until ``process`` terminates."""
 
@@ -223,6 +223,6 @@ class JoinCall(Simcall):
     timeout: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class YieldCall(Simcall):
     """Give the scheduler a chance to run other processes (no time passes)."""

@@ -17,11 +17,13 @@ End-to-end routes are concatenations of intra-zone segments up and down
 the zone tree, resolved on demand behind an LRU-bounded cache, so a fully
 touched platform stays O(touched) in memory instead of O(hosts²).
 
-Realization can be **eager** (every resource instantiated up front — the
-default, preserving resource creation order and therefore simulated dates
-to the bit) or **lazy** (``realize(lazy=True)``): hosts, links and their
-SURF resources then materialize on first touch, so a 10⁵-host topology
-loads in O(touched).
+Realization is **lazy** by default: hosts, links and their SURF resources
+materialize on first touch, so a 10⁵-host topology loads in O(touched).
+SURF constraint ids are pinned to declaration indices, which makes lazy
+realization bit-identical to **eager** realization (``realize(eager=True)``,
+every resource instantiated up front) — same solver tie-breaking, same
+simulated dates.  ``realize(sharded=True)`` additionally partitions the
+kernel along the top-level zones (see :mod:`repro.surf.shard`).
 """
 
 from __future__ import annotations
@@ -50,6 +52,10 @@ class HostSpec:
     availability_trace: Optional[Trace] = None
     state_trace: Optional[Trace] = None
     properties: Dict[str, str] = field(default_factory=dict)
+    # Declaration index, set by Platform.add_host: pins the SURF
+    # constraint id so lazy/eager/sharded realization all number the
+    # resource identically.
+    index: int = field(default=-1, compare=False)
 
     def __post_init__(self) -> None:
         if self.speed <= 0:
@@ -68,6 +74,8 @@ class LinkSpec:
     shared: bool = True
     bandwidth_trace: Optional[Trace] = None
     state_trace: Optional[Trace] = None
+    # Declaration index, set by Platform.add_link (see HostSpec.index).
+    index: int = field(default=-1, compare=False)
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -124,6 +132,7 @@ class Platform:
         self.engine: Optional[SurfEngine] = None
         self.cpu_by_host: Dict[str, CpuResource] = {}
         self.link_by_name: Dict[str, LinkResource] = {}
+        self._link_zone: Dict[str, Optional[NetZone]] = {}
         # Route resolution is on-demand behind LRU-bounded caches: names
         # per (src, dst), and — after realization — the resolved
         # LinkResource tuples the s4u comm hot path consumes.
@@ -195,6 +204,7 @@ class Platform:
         self._check_fresh_node_name(name)
         spec = HostSpec(name, speed, cores, availability_trace, state_trace,
                         dict(properties or {}))
+        spec.index = len(self.hosts)
         self.hosts[name] = spec
         zone_obj.nodes[name] = None
         self._node_zone[name] = zone_obj
@@ -221,6 +231,7 @@ class Platform:
             raise PlatformError(f"duplicate link name {name!r}")
         spec = LinkSpec(name, bandwidth, latency, shared,
                         bandwidth_trace, state_trace)
+        spec.index = len(self.links)
         self.links[name] = spec
         return spec
 
@@ -325,26 +336,42 @@ class Platform:
 
     # -- realization -----------------------------------------------------------------
     def realize(self, engine: Optional[SurfEngine] = None,
-                lazy: bool = False) -> SurfEngine:
+                lazy: Optional[bool] = None, eager: bool = False,
+                sharded: bool = False) -> SurfEngine:
         """Instantiate host CPUs and links inside a SURF engine.
 
-        Eager (default): every resource is created up front, in
-        declaration order — the legacy behaviour, preserving simulated
-        dates bit-for-bit.  Lazy (``lazy=True``): resources materialize on
-        first touch (``cpu_of``, ``route_resources``, ``link_resource``),
-        so a huge platform realizes in O(touched); only resources carrying
-        traces are materialized immediately (their events must be able to
-        fire whether or not the resource is otherwise used).
+        Lazy (the default): resources materialize on first touch
+        (``cpu_of``, ``route_resources``, ``link_resource``), so a huge
+        platform realizes in O(touched); only resources carrying traces
+        are materialized immediately (their events must be able to fire
+        whether or not the resource is otherwise used).  Because SURF
+        constraint ids are pinned to declaration indices, lazy and eager
+        realization produce bit-identical simulated dates — ``eager=True``
+        remains as an escape hatch that instantiates everything up front.
+
+        ``sharded=True`` builds a :class:`ShardedSurfEngine` partitioned
+        along the top-level zones of this platform (ignored when an
+        ``engine`` is supplied).
 
         Returns the engine (creating a fresh one when none is supplied).
         Realization may only happen once per Platform instance.
         """
         if self._realized:
             raise PlatformError("platform already realized")
-        engine = engine or SurfEngine()
+        if lazy is None:
+            lazy = not eager
+        elif eager and lazy:
+            raise PlatformError("realize(): lazy and eager are exclusive")
+        if engine is None:
+            if sharded:
+                from repro.surf.shard import ShardedSurfEngine
+                engine = ShardedSurfEngine(list(self.root_zone.children))
+            else:
+                engine = SurfEngine()
         self.engine = engine
         self._lazy = lazy
         self._realized = True
+        self._link_zone = self._compute_link_zones()
         if lazy:
             for spec in self.hosts.values():
                 if (spec.availability_trace is not None
@@ -361,23 +388,67 @@ class Platform:
                 self._materialize_link(spec)
         return engine
 
+    def _compute_link_zones(self) -> Dict[str, Optional[NetZone]]:
+        """Owning zone per link: the single zone referencing it, else root.
+
+        A link referenced by the routes/edges of exactly one zone belongs
+        to that zone (a sharded engine keeps its constraint in the zone's
+        shard); links referenced from several zones — inter-zone links
+        attached in a common ancestor — map to ``None``, the root shard.
+        """
+        owners: Dict[str, Optional[NetZone]] = {}
+        ambiguous: Dict[str, bool] = {}
+        for zone in [self.root_zone, *self.zones.values()]:
+            names = set()
+            for route in zone.routes.values():
+                names.update(route.links)
+            for edges in zone.adjacency.values():
+                for _vertex, link_name in edges:
+                    names.add(link_name)
+            for name in names:
+                if name not in owners:
+                    owners[name] = None if zone.parent is None else zone
+                elif owners[name] is not zone:
+                    ambiguous[name] = True
+        for name in ambiguous:
+            owners[name] = None
+        return owners
+
     def _materialize_cpu(self, spec: HostSpec) -> CpuResource:
-        cpu = self.engine.cpu_model.add_cpu(
+        cpu = self.engine.add_cpu(
             spec.name, spec.speed, spec.cores,
             availability_trace=spec.availability_trace,
-            state_trace=spec.state_trace)
+            state_trace=spec.state_trace,
+            index=spec.index,
+            zone=self._node_zone.get(spec.name))
         self.engine.register_resource_traces(cpu)
         self.cpu_by_host[spec.name] = cpu
         return cpu
 
     def _materialize_link(self, spec: LinkSpec) -> LinkResource:
-        link = self.engine.network_model.add_link(
+        link = self.engine.add_link(
             spec.name, spec.bandwidth, spec.latency, spec.shared,
             bandwidth_trace=spec.bandwidth_trace,
-            state_trace=spec.state_trace)
+            state_trace=spec.state_trace,
+            index=spec.index,
+            zone=self._link_zone.get(spec.name))
         self.engine.register_resource_traces(link)
         self.link_by_name[spec.name] = link
         return link
+
+    def kernel_stats(self) -> Dict[str, object]:
+        """Engine solver/shard stats merged with the route cache stats.
+
+        One aggregated observability dict (satellite of the sharded
+        kernel): ``solver`` sums every model's LMM counters across shards,
+        ``route_caches`` is :meth:`route_cache_stats`, plus parallel
+        executor and shard/window sections when present.
+        """
+        if self.engine is None:
+            raise PlatformError("platform not realized yet")
+        stats = dict(self.engine.kernel_stats())
+        stats["route_caches"] = self.route_cache_stats()
+        return stats
 
     @property
     def realized(self) -> bool:

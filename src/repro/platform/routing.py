@@ -190,20 +190,39 @@ class DijkstraRouting(_Strategy):
 
     This is the legacy flat-platform behaviour, so it is the default
     strategy of the root zone.
+
+    Resolved ``(src, dst)`` pairs are memoized (and dropped when the zone
+    is modified, same invalidation as Floyd's sealed trees): a zone vertex
+    that many routes funnel through — a gateway in a star site — would
+    otherwise re-run its Dijkstra, relaxing every adjacent edge, once per
+    *end-to-end pair* instead of once per segment.  The memo holds paths,
+    not trees, so memory stays O(distinct queried pairs), each O(path).
     """
 
     name = "Dijkstra"
+
+    def __init__(self, zone: "NetZone") -> None:
+        super().__init__(zone)
+        self._path_cache: Dict[Tuple[str, str], List[str]] = {}
+        self._cached_version = -1
 
     def route(self, src: str, dst: str) -> List[str]:
         links = self._explicit(src, dst)
         if links is not None:
             return links
-        if src not in self.zone.adjacency:
-            raise self._no_route(src, dst)
-        path = _reconstruct(_dijkstra_prev(self.zone, src, dst), src, dst)
+        if self._cached_version != self.zone.version:
+            self._path_cache.clear()
+            self._cached_version = self.zone.version
+        path = self._path_cache.get((src, dst))
         if path is None:
-            raise self._no_route(src, dst)
-        return path
+            if src not in self.zone.adjacency:
+                raise self._no_route(src, dst)
+            path = _reconstruct(_dijkstra_prev(self.zone, src, dst),
+                                src, dst)
+            if path is None:
+                raise self._no_route(src, dst)
+            self._path_cache[(src, dst)] = path
+        return list(path)
 
 
 class FloydRouting(_Strategy):

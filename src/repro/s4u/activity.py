@@ -51,6 +51,10 @@ class ActivityState(enum.Enum):
     TIMEOUT = "timeout"      # the waiter's timeout fired first
 
 
+_OVER_STATES = frozenset((ActivityState.DONE, ActivityState.FAILED,
+                          ActivityState.CANCELLED, ActivityState.TIMEOUT))
+
+
 def _submit(simcall):
     """Route a simcall through the calling actor's context."""
     from repro.s4u.actor import current_actor
@@ -61,6 +65,9 @@ class Activity:
     """Base class of every asynchronous operation a simulation performs."""
 
     kind = "activity"
+
+    __slots__ = ("name", "state", "surf_action", "waiters", "post_time",
+                 "start_time", "finish_time", "_engine", "_master")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -96,9 +103,10 @@ class Activity:
 
     def is_over(self) -> bool:
         """Finished, successfully or not."""
-        return self._resolved().state in (
-            ActivityState.DONE, ActivityState.FAILED,
-            ActivityState.CANCELLED, ActivityState.TIMEOUT)
+        activity = self
+        while activity._master is not None:
+            activity = activity._master
+        return activity.state in _OVER_STATES
 
     def succeeded(self) -> bool:
         return self._resolved().state is ActivityState.DONE
@@ -167,6 +175,8 @@ class Exec(Activity):
 
     kind = "exec"
 
+    __slots__ = ("actor", "host", "flops", "priority", "bound")
+
     def __init__(self, actor: "Actor", host: "Host", flops: float,
                  name: str = "compute", priority: float = 1.0,
                  bound: Optional[float] = None) -> None:
@@ -188,6 +198,9 @@ class Comm(Activity):
     """
 
     kind = "comm"
+
+    __slots__ = ("mailbox", "payload", "size", "src_actor", "dst_actor",
+                 "rate", "detached", "priority", "_direction")
 
     def __init__(self, mailbox: "Mailbox", payload: Any = None,
                  size: float = 0.0,
@@ -239,6 +252,8 @@ class Sleep(Activity):
     """A pure delay, as a waitable activity (async ``sleep``)."""
 
     kind = "sleep"
+
+    __slots__ = ("actor", "duration", "_timer")
 
     def __init__(self, actor: "Actor", duration: float) -> None:
         super().__init__("sleep")

@@ -68,6 +68,12 @@ class ActorState:
 class Actor:
     """One simulated actor: a function running on a host."""
 
+    __slots__ = ("engine", "name", "host", "func", "args", "kwargs",
+                 "daemon", "auto_restart", "pid", "state", "context", "data",
+                 "_wait_activities", "_wait_timer", "_wait_kind",
+                 "_wait_owner", "_suspended", "_parked_resume", "_joiners",
+                 "_on_exit_callbacks", "_exit_failed", "exit_status")
+
     def __init__(self, engine: "Engine", name: str, host: "Host",
                  func, args: tuple = (), kwargs: Optional[dict] = None,
                  daemon: bool = False, auto_restart: bool = False) -> None:

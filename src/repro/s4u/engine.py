@@ -19,6 +19,7 @@ simulation loop in the package and this is it.
 
 from __future__ import annotations
 
+import gc
 import math
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple, Type, Union
@@ -71,19 +72,36 @@ class Engine:
         When True, :meth:`run` raises :class:`DeadlockError` if every
         remaining actor is blocked forever; otherwise the simulation just
         ends (mirroring SimGrid's warning).
+    sharded:
+        When True (and the platform is not realized yet), realize it on a
+        :class:`~repro.surf.shard.ShardedSurfEngine` partitioned along
+        the platform's top-level zones.  Simulated dates are bit-identical
+        to the flat kernel either way.
+    parallel_solves:
+        When True, attach a :class:`~repro.surf.shard.ParallelSolveExecutor`
+        to the kernel (worker count from ``REPRO_PARALLEL``; a disabled
+        executor costs nothing).
     """
 
     def __init__(self, platform: Platform,
                  context_factory: str = "generator",
                  recorder=None,
-                 raise_on_deadlock: bool = False) -> None:
+                 raise_on_deadlock: bool = False,
+                 sharded: bool = False,
+                 parallel_solves: bool = False,
+                 manage_gc: Optional[bool] = None) -> None:
         self.platform = platform
         if not platform.realized:
-            platform.realize()
+            platform.realize(sharded=sharded)
         self.surf = platform.engine
+        if parallel_solves:
+            self.surf.enable_parallel_solves()
         self.context_factory = make_context_factory(context_factory)
         self.recorder = recorder
         self.raise_on_deadlock = raise_on_deadlock
+        #: Cyclic-collector policy during :meth:`run` (None = auto by
+        #: simulation size, see ``_enter_gc_policy``).
+        self.manage_gc = manage_gc
 
         # On a lazily realized platform only the already-materialized
         # resources (those carrying traces) get wrappers up front; the rest
@@ -121,6 +139,28 @@ class Engine:
         self._pending_restarts: Dict[Host, List[Tuple]] = {}
         #: Number of actors rebooted by the auto-restart machinery.
         self.restart_count = 0
+        # Simcall dispatch by concrete type: the kernel handles one call
+        # per actor resume, so this lookup sits on the hottest path.
+        self._simcall_handlers = {
+            ExecuteCall: self._do_execute,
+            ExecAsyncCall: self._do_exec_async,
+            SleepCall: self._do_sleep,
+            SleepAsyncCall: self._do_sleep_async,
+            SendCall: self._do_send,
+            RecvCall: self._do_recv,
+            IsendCall: self._do_isend,
+            IrecvCall: self._do_irecv,
+            StartCall: self._do_start,
+            WaitCall: self._do_wait,
+            WaitAnyCall: self._do_wait_any,
+            WaitAllCall: self._do_wait_all,
+            TestCall: self._do_test,
+            KillCall: self._do_kill,
+            SuspendCall: self._do_suspend,
+            ResumeCall: self._do_resume_other,
+            JoinCall: self._do_join,
+            YieldCall: self._do_yield,
+        }
 
     # ------------------------------------------------------------------------------
     # world accessors
@@ -138,6 +178,22 @@ class Engine:
         working.
         """
         return self.surf
+
+    def kernel_stats(self) -> dict:
+        """Aggregated kernel observability (solver + caches + shards).
+
+        Merges every fluid model's LMM counters across shards with the
+        platform's route cache stats, the parallel-executor stats and the
+        shard/conservative-window section when the kernel is sharded.
+        """
+        return self.platform.kernel_stats()
+
+    def close(self) -> None:
+        """Release kernel OS resources (parallel workers, shared memory).
+
+        Idempotent; safe to call on a never-parallel engine.
+        """
+        self.surf.close()
 
     def _materialize_host(self, name: str) -> Host:
         host = Host(self, self.platform.hosts[name],
@@ -292,12 +348,54 @@ class Engine:
     # ------------------------------------------------------------------------------
     # the main loop
     # ------------------------------------------------------------------------------
+    #: Simulations with at least this many live actors get the gc policy
+    #: by default: below it a full collect + freeze costs more than the
+    #: generational passes it avoids.
+    _GC_POLICY_MIN_ACTORS = 5000
+
+    def _enter_gc_policy(self) -> bool:
+        """Freeze the setup heap for the duration of the event loop.
+
+        A large simulation builds its object graph (hosts, links, actors,
+        mailboxes, generator frames) before ``run`` and keeps it alive to
+        the end; the cyclic collector re-scans those millions of objects
+        on every full generational pass even though none of them is
+        garbage.  ``gc.freeze`` moves the pre-loop heap to the permanent
+        generation so collections during the run only trace the young
+        objects the loop actually churns (activities, actions, tuples).
+        The kernel keeps its hot object graph cycle-free by construction
+        (activity<->action and actor<->context backlinks are broken on
+        completion), so deferring cycle detection of the frozen set to
+        the end of the run leaks nothing.
+        """
+        manage = self.manage_gc
+        if manage is None:
+            manage = len(self._alive_actors) >= self._GC_POLICY_MIN_ACTORS
+        if not manage or not gc.isenabled():
+            return False
+        gc.collect()
+        gc.freeze()
+        return True
+
+    def _exit_gc_policy(self) -> None:
+        """Thaw the heap frozen by ``_enter_gc_policy``."""
+        gc.unfreeze()
+
     def run(self, until: Optional[float] = None) -> float:
         """Run the simulation until it ends (or until the given date).
 
         Returns the final simulated time.
         """
         limit = math.inf if until is None else float(until)
+        managed_gc = self._enter_gc_policy()
+        try:
+            self._run_loop(limit, until)
+        finally:
+            if managed_gc:
+                self._exit_gc_policy()
+        return self.now
+
+    def _run_loop(self, limit: float, until: Optional[float]) -> None:
         while True:
             self._schedule_ready()
             if self._simulation_over():
@@ -323,7 +421,6 @@ class Engine:
             if until is not None and now >= limit - _EPS:
                 self._schedule_ready()
                 break
-        return self.now
 
     @property
     def deadlocked(self) -> bool:
@@ -440,57 +537,32 @@ class Engine:
     # ------------------------------------------------------------------------------
     def _handle_simcall(self, actor: Actor, call: Simcall) -> None:
         actor.state = ActorState.BLOCKED
-        if isinstance(call, ExecuteCall):
-            self._do_execute(actor, call)
-        elif isinstance(call, ExecAsyncCall):
-            self._do_exec_async(actor, call)
-        elif isinstance(call, SleepCall):
-            self._do_sleep(actor, call)
-        elif isinstance(call, SleepAsyncCall):
-            self._do_sleep_async(actor, call)
-        elif isinstance(call, SendCall):
-            self._do_send(actor, call)
-        elif isinstance(call, RecvCall):
-            self._do_recv(actor, call)
-        elif isinstance(call, IsendCall):
-            self._do_isend(actor, call)
-        elif isinstance(call, IrecvCall):
-            self._do_irecv(actor, call)
-        elif isinstance(call, StartCall):
-            self._do_start(actor, call)
-        elif isinstance(call, WaitCall):
-            self._do_wait(actor, call)
-        elif isinstance(call, WaitAnyCall):
-            self._do_wait_any(actor, call)
-        elif isinstance(call, WaitAllCall):
-            self._do_wait_all(actor, call)
-        elif isinstance(call, TestCall):
-            self._enqueue(actor, call.activity.is_over())
-        elif isinstance(call, KillCall):
-            target = call.process
-            self._kill_actor(target)
-            if target is not actor:
-                self._enqueue(actor, None)
-        elif isinstance(call, SuspendCall):
-            self._do_suspend(actor, call)
-        elif isinstance(call, ResumeCall):
-            self._do_resume_other(actor, call)
-        elif isinstance(call, JoinCall):
-            self._do_join(actor, call)
-        elif isinstance(call, YieldCall):
-            self._enqueue(actor, None)
-        else:
+        handler = self._simcall_handlers.get(type(call))
+        if handler is None:
             raise TypeError(f"unknown simcall {call!r}")
+        handler(actor, call)
+
+    def _do_test(self, actor: Actor, call: TestCall) -> None:
+        self._enqueue(actor, call.activity.is_over())
+
+    def _do_kill(self, actor: Actor, call: KillCall) -> None:
+        target = call.process
+        self._kill_actor(target)
+        if target is not actor:
+            self._enqueue(actor, None)
+
+    def _do_yield(self, actor: Actor, call: YieldCall) -> None:
+        self._enqueue(actor, None)
 
     # -- execution ---------------------------------------------------------------------
     def _start_exec(self, activity: Exec) -> None:
         """Create the SURF action realising an Exec and mark it started."""
         activity.post_time = self.now
         activity.start_time = self.now
-        action = self.surf.cpu_model.execute(activity.host.cpu,
-                                             activity.flops,
-                                             priority=activity.priority,
-                                             bound=activity.bound)
+        action = self.surf.execute(activity.host.cpu,
+                                   activity.flops,
+                                   priority=activity.priority,
+                                   bound=activity.bound)
         action.data = activity
         activity.surf_action = action
         activity.state = ActivityState.STARTED
@@ -645,7 +717,7 @@ class Engine:
             self._finish_activity(comm, ActivityState.FAILED)
             return
         links = self.platform.route_resources(src_host.name, dst_host.name)
-        action = self.surf.network_model.communicate(
+        action = self.surf.communicate(
             links, comm.size, rate=comm.rate, priority=comm.priority)
         action.data = comm
         comm.surf_action = action
@@ -915,6 +987,12 @@ class Engine:
         if isinstance(activity, Comm):
             self._active_comms.discard(activity)
         self._record_activity(activity)
+        # Break the activity <-> action reference cycle: once finished,
+        # the pair would otherwise only ever be reclaimed by a gc cycle
+        # pass, which at 10⁵ actors dominates the collector's work.
+        action = activity.surf_action
+        if action is not None and action.data is activity:
+            action.data = None
         waiters = list(activity.waiters)
         activity.waiters.clear()
         for actor in waiters:

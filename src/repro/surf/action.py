@@ -63,6 +63,10 @@ class Action:
         receive a proportionally larger share of contended resources.
     """
 
+    __slots__ = ("model", "cost", "priority", "state", "variable",
+                 "start_time", "finish_time", "data", "_suspended", "bound",
+                 "_remaining", "last_sync", "last_rate", "_event_version")
+
     def __init__(self, model, cost: float, priority: float = 1.0) -> None:
         if cost < 0:
             raise ValueError("action cost must be >= 0")

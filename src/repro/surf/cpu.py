@@ -38,13 +38,15 @@ class CpuResource(Resource):
     def __init__(self, name: str, speed: float, system: MaxMinSystem,
                  cores: int = 1,
                  availability_trace: Optional[Trace] = None,
-                 state_trace: Optional[Trace] = None) -> None:
+                 state_trace: Optional[Trace] = None,
+                 index: Optional[int] = None) -> None:
         if cores < 1:
             raise ValueError("a CPU needs at least one core")
         super().__init__(name, speed * cores, system,
                          shared=True,
                          availability_trace=availability_trace,
-                         state_trace=state_trace)
+                         state_trace=state_trace,
+                         index=index)
         self.speed = float(speed)
         self.cores = int(cores)
 
@@ -58,6 +60,8 @@ class CpuResource(Resource):
 
 class CpuAction(Action):
     """One computation: ``cost`` flops executed on one CPU."""
+
+    __slots__ = ("cpu",)
 
     def __init__(self, model: "CpuModel", cpu: CpuResource, cost: float,
                  priority: float = 1.0) -> None:
@@ -75,12 +79,18 @@ class CpuModel(FluidModel):
     # -- platform construction -----------------------------------------------------
     def add_cpu(self, name: str, speed: float, cores: int = 1,
                 availability_trace: Optional[Trace] = None,
-                state_trace: Optional[Trace] = None) -> CpuResource:
-        """Register a new CPU resource."""
+                state_trace: Optional[Trace] = None,
+                index: Optional[int] = None) -> CpuResource:
+        """Register a new CPU resource.
+
+        ``index`` (when given) pins the constraint id to the host's
+        declaration index so numbering is materialization-order
+        independent.
+        """
         if name in self.cpus:
             raise ValueError(f"duplicate CPU name {name!r}")
         cpu = CpuResource(name, speed, self.system, cores,
-                          availability_trace, state_trace)
+                          availability_trace, state_trace, index=index)
         self.cpus[name] = cpu
         return cpu
 

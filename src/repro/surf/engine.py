@@ -91,6 +91,111 @@ class SurfEngine:
         #: Actions completed/failed during the last :meth:`run_until_idle`.
         self.last_completed: List[Action] = []
         self.last_failed: List[Action] = []
+        #: Optional ParallelSolveExecutor shared by the models' systems
+        #: (see :meth:`enable_parallel_solves`).
+        self.executor = None
+
+    # -- parallel solving / lifecycle --------------------------------------------------
+    def enable_parallel_solves(self, workers: Optional[int] = None,
+                               min_components: int = 2,
+                               min_work: int = 256) -> None:
+        """Attach one shared :class:`ParallelSolveExecutor` to every model.
+
+        With ``workers=None`` the pool size comes from ``REPRO_PARALLEL``
+        (0 disables); a 0-worker executor never accepts a batch, so this
+        is always safe to call.  The pool forks lazily on the first batch
+        that passes the threshold.
+        """
+        from repro.surf.shard import ParallelSolveExecutor
+        if self.executor is not None:
+            self.executor.close()
+        self.executor = ParallelSolveExecutor(
+            workers=workers, min_components=min_components,
+            min_work=min_work)
+        for model in self.models:
+            model.system.executor = self.executor
+
+    def close(self) -> None:
+        """Release kernel-owned OS resources (worker pool, shared memory).
+
+        Idempotent; the executor also guards itself with
+        ``weakref.finalize``/``atexit``, so a missed ``close()`` cannot
+        leak ``/dev/shm`` segments — this just releases them immediately.
+        """
+        if self.executor is not None:
+            self.executor.close()
+            self.executor = None
+            for model in self.models:
+                model.system.executor = None
+
+    def __enter__(self) -> "SurfEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- model dispatch ----------------------------------------------------------------
+    def model_of(self, resource: Resource):
+        """The fluid model simulating ``resource``."""
+        if isinstance(resource, CpuResource):
+            return self.cpu_model
+        if isinstance(resource, LinkResource):
+            return self.network_model
+        raise TypeError(f"unknown resource kind: {resource!r}")
+
+    def add_cpu(self, name: str, speed: float, cores: int = 1,
+                availability_trace=None, state_trace=None,
+                index: Optional[int] = None, zone=None) -> CpuResource:
+        """Create a CPU resource in the appropriate model.
+
+        ``zone`` (the declaring :class:`~repro.platform.routing.NetZone`)
+        selects the shard in a sharded engine; the flat engine ignores it.
+        """
+        return self.cpu_model.add_cpu(
+            name, speed, cores, availability_trace=availability_trace,
+            state_trace=state_trace, index=index)
+
+    def add_link(self, name: str, bandwidth: float, latency: float = 0.0,
+                 shared: bool = True, bandwidth_trace=None, state_trace=None,
+                 index: Optional[int] = None, zone=None) -> LinkResource:
+        """Create a link resource in the appropriate model (see add_cpu)."""
+        return self.network_model.add_link(
+            name, bandwidth, latency, shared,
+            bandwidth_trace=bandwidth_trace, state_trace=state_trace,
+            index=index)
+
+    def execute(self, cpu: CpuResource, flops: float, priority: float = 1.0,
+                bound: Optional[float] = None):
+        """Start a computation on ``cpu`` in its owning model."""
+        return self.model_of(cpu).execute(cpu, flops, priority, bound)
+
+    def communicate(self, links, size: float, extra_latency: float = 0.0,
+                    rate: Optional[float] = None, priority: float = 1.0):
+        """Start a transfer over ``links`` in the owning network model.
+
+        In a sharded engine this is where cross-zone communications are
+        handed off: link constraints spread over several shards migrate
+        into the root shard before the flow is created.
+        """
+        return self.network_model.communicate(links, size, extra_latency,
+                                              rate, priority)
+
+    def kernel_stats(self) -> dict:
+        """Aggregated kernel observability counters.
+
+        Sums :meth:`FluidModel.solver_stats` over every model (and, in a
+        sharded engine, every shard) and annexes the parallel-executor
+        stats when one is attached.  The platform layer merges its route
+        cache stats into the same dict (see ``Platform.kernel_stats``).
+        """
+        solver: dict = {}
+        for model in self.models:
+            for key, value in model.solver_stats().items():
+                solver[key] = solver.get(key, 0) + value
+        stats = {"solver": solver, "models": len(self.models)}
+        if self.executor is not None:
+            stats["parallel"] = self.executor.stats()
+        return stats
 
     # -- resource registration -------------------------------------------------------
     def register_resource_traces(self, resource: Resource) -> None:
@@ -161,11 +266,7 @@ class SurfEngine:
         if until < now - _TIME_EPSILON:
             raise ValueError(f"cannot step backwards (until={until} < now={now})")
 
-        min_delta = math.inf
-        for model in self.models:
-            delta = model.share_resources(now)
-            if delta < min_delta:
-                min_delta = delta
+        min_delta = self._share_phase(now)
 
         trace_date = self.next_trace_event_date()
         delta_trace = trace_date - now if not math.isinf(trace_date) else math.inf
@@ -179,13 +280,12 @@ class SurfEngine:
         new_time = now + delta
         self.clock = new_time
 
-        completed: List[Action] = []
-        for model in self.models:
-            completed.extend(model.update_actions_state(new_time, delta))
+        completed = self._update_phase(new_time, delta)
 
         state_changes: List[Tuple[Resource, bool]] = []
         failed: List[Action] = []
-        failed.extend(self._fire_trace_events(new_time, state_changes))
+        if self._trace_heap:
+            failed.extend(self._fire_trace_events(new_time, state_changes))
 
         reached_bound = (delta_bound <= min_delta + _TIME_EPSILON
                          and delta_bound <= delta_trace + _TIME_EPSILON
@@ -207,6 +307,39 @@ class SurfEngine:
             self._zero_progress_steps = 0
         return StepResult(new_time, completed, failed, reached_bound,
                           state_changes)
+
+    def _share_phase(self, now: float) -> float:
+        """Solve every model's system; return the earliest event delay.
+
+        Overridden by the sharded engine, which merges the per-shard
+        solve results into the flat reschedule order before computing the
+        next-event dates.
+        """
+        min_delta = math.inf
+        for model in self.models:
+            delta = model.share_resources(now)
+            if delta < min_delta:
+                min_delta = delta
+        return min_delta
+
+    def _update_phase(self, now: float, delta: float) -> List[Action]:
+        """Fire every model's due events; return the completed actions.
+
+        Overridden by the sharded engine, which pops the per-shard heaps
+        merged by ``(date, seq)`` so the completion order matches the
+        flat single-heap pop order.
+        """
+        completed: List[Action] = []
+        for model in self.models:
+            # Peek before paying the call: most steps fire events in one
+            # model while the others have nothing due yet.  Stale heap
+            # heads (lazy removals) only ever make the peek pessimistic.
+            heap = model._heap
+            if heap and heap[0][0] <= now + _TIME_EPSILON:
+                completed.extend(model.update_actions_state(now, delta))
+            else:
+                model.clock = now
+        return completed
 
     def _fire_trace_events(self, now: float,
                            state_changes: Optional[List[Tuple[Resource, bool]]]
@@ -236,17 +369,15 @@ class SurfEngine:
 
     def _fail_actions_using(self, resource: Resource,
                             now: float) -> List[Action]:
-        if isinstance(resource, CpuResource):
-            return list(self.cpu_model.fail_actions_on(resource, now))
-        if isinstance(resource, LinkResource):
-            return list(self.network_model.fail_actions_on(resource, now))
+        if isinstance(resource, (CpuResource, LinkResource)):
+            return list(self.model_of(resource).fail_actions_on(resource, now))
         return []
 
     def fail_host(self, cpu: CpuResource, now: Optional[float] = None) -> List[Action]:
         """Immediately fail a CPU (used by explicit ``host.turn_off()``)."""
         date = self.clock if now is None else now
         cpu.turn_off()
-        return self.cpu_model.fail_actions_on(cpu, date)
+        return self.model_of(cpu).fail_actions_on(cpu, date)
 
     def restore_host(self, cpu: CpuResource) -> None:
         """Turn a failed CPU back on."""
@@ -262,7 +393,7 @@ class SurfEngine:
         """
         date = self.clock if now is None else now
         link.turn_off()
-        return self.network_model.fail_actions_on(link, date)
+        return self.model_of(link).fail_actions_on(link, date)
 
     def restore_link(self, link: LinkResource) -> None:
         """Turn a failed link back on."""

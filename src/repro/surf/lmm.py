@@ -264,11 +264,21 @@ class MaxMinSystem:
         assert flow1.value == flow2.value == 0.5e9
     """
 
-    def __init__(self) -> None:
+    def __init__(self, var_ids=None) -> None:
         self._vars: Dict[int, Variable] = {}
         self.constraints: List[Constraint] = []
         self._next_var_id = 0
         self._next_cns_id = 0
+        # Optional shared variable-id allocator (an ``itertools.count``):
+        # the sharded kernel hands the same allocator to every shard's
+        # system so variable creation order — and therefore every
+        # id-based tie-break — is global, exactly like a single flat
+        # system would number them.
+        self._var_ids = var_ids
+        # Optional ParallelSolveExecutor (see repro.surf.shard); when set,
+        # solve() hands batches of independent components to it instead of
+        # sub-solving them inline.
+        self.executor = None
         # Constraints whose incidence, capacity or crossing-variable
         # weights/bounds changed since the last solve.
         self._modified: Set[Constraint] = set()
@@ -300,17 +310,31 @@ class MaxMinSystem:
     def new_variable(self, weight: float = 1.0,
                      bound: Optional[float] = None, data=None) -> Variable:
         """Create and register a new variable."""
-        var = Variable(self._next_var_id, weight, bound, data)
-        self._next_var_id += 1
-        self._vars[var.id] = var
+        if self._var_ids is not None:
+            vid = next(self._var_ids)
+        else:
+            vid = self._next_var_id
+        self._next_var_id = vid + 1
+        var = Variable(vid, weight, bound, data)
+        self._vars[vid] = var
         self._detached_dirty.add(var)
         return var
 
     def new_constraint(self, capacity: float, shared: bool = True,
-                       data=None) -> Constraint:
-        """Create and register a new constraint."""
-        cns = Constraint(self._next_cns_id, capacity, shared, data)
-        self._next_cns_id += 1
+                       data=None, cid: Optional[int] = None) -> Constraint:
+        """Create and register a new constraint.
+
+        ``cid`` optionally pins the constraint id.  Ids drive every
+        tie-break in the solver, so callers that materialize resources in
+        a non-deterministic or on-demand order (the lazy platform
+        realization, the sharded kernel) pass the resource's declaration
+        index here to keep solved values independent of creation order.
+        """
+        if cid is None:
+            cid = self._next_cns_id
+        if cid + 1 > self._next_cns_id:
+            self._next_cns_id = cid + 1
+        cns = Constraint(cid, capacity, shared, data)
         self.constraints.append(cns)
         return cns
 
@@ -402,14 +426,39 @@ class MaxMinSystem:
         variables whose value changed (the callers use it to recompute
         action completion dates selectively).
         """
+        changed: List[Variable] = []
+        self._solve_into(changed, None, _subsolver)
+        return changed
+
+    def solve_grouped(self, _subsolver=None):
+        """Like :meth:`solve`, but keeps the component structure visible.
+
+        Returns ``(changed, groups)`` where ``groups`` is a list of
+        ``(trigger_cid, start, end)`` triples: the changed variables of
+        the component first triggered by modified constraint
+        ``trigger_cid`` occupy ``changed[start:end]``.  Entries before
+        ``groups[0][1]`` (or all of ``changed`` when ``groups`` is empty)
+        are detached variables, ordered by id.
+
+        The sharded kernel uses this to re-merge the per-shard solve
+        results into the exact global order a single flat system would
+        report: detached variables by id first, then components by
+        trigger id — both orderings are global because ids are.
+        """
+        changed: List[Variable] = []
+        groups: List[Tuple[int, int, int]] = []
+        self._solve_into(changed, groups, _subsolver)
+        return changed, groups
+
+    def _solve_into(self, changed: List[Variable],
+                    groups: Optional[List[Tuple[int, int, int]]],
+                    _subsolver=None) -> None:
         subsolve = _subsolver if _subsolver is not None else \
             self._solve_subsystem
         self.solve_calls += 1
         if not self._modified and not self._detached_dirty:
             self.solve_skipped += 1
-            return []
-
-        changed: List[Variable] = []
+            return
 
         # Variables crossing no constraint are limited only by their bound.
         # Creation order keeps the changed-variables report — and therefore
@@ -433,10 +482,16 @@ class MaxMinSystem:
             # belong to *independent* components; solving each component
             # separately keeps progressive filling linear in the component
             # size instead of quadratic in the batch size.
-            seeds = sorted(self._modified, key=lambda c: c.id)
-            self._modified.clear()
+            modified = self._modified
+            if len(modified) == 1:
+                seeds = list(modified)
+            else:
+                seeds = sorted(modified, key=lambda c: c.id)
+            modified.clear()
             cns_seen: Set[Constraint] = set()
             var_seen: Set[Variable] = set()
+            components: List[Tuple[List[Constraint], List[Variable]]] = []
+            triggers: List[int] = []
             for seed in seeds:
                 if seed in cns_seen:
                     continue
@@ -445,8 +500,27 @@ class MaxMinSystem:
                 # identical to a from-scratch solve of the same component.
                 cnss.sort(key=lambda c: c.id)
                 variables.sort(key=lambda v: v.id)
-                subsolve(cnss, variables, changed)
-        return changed
+                components.append((cnss, variables))
+                triggers.append(seed.id)
+            boundaries: Optional[List[Tuple[int, int]]] = \
+                None if groups is None else []
+            executor = self.executor
+            if (executor is not None and _subsolver is None
+                    and executor.accepts(components)):
+                # Independent components solve in parallel workers; the
+                # executor reports per-component results in submission
+                # order, so ``changed`` is populated exactly like the
+                # serial loop below would.
+                executor.solve_batch(self, components, changed, boundaries)
+            else:
+                for cnss, variables in components:
+                    start = len(changed)
+                    subsolve(cnss, variables, changed)
+                    if boundaries is not None:
+                        boundaries.append((start, len(changed)))
+            if groups is not None:
+                for trigger, (start, end) in zip(triggers, boundaries):
+                    groups.append((trigger, start, end))
 
     def _component(self, seed: Constraint, cns_seen: Set[Constraint],
                    var_seen: Set[Variable]):
@@ -510,11 +584,217 @@ class MaxMinSystem:
                 active.append(var)
 
         if active:
-            self._progressive_filling(cnss, active, token)
+            if len(cnss) == 1:
+                # The overwhelmingly common shape on large platforms (one
+                # CPU, one access link): a dedicated path without the
+                # candidate heap, bit-identical to the general algorithm.
+                self._solve_single(cnss[0], active, token)
+            else:
+                self._progressive_filling(cnss, active, token)
 
         for var, old in zip(variables, old_values):
             if var.value != old:
                 changed.append(var)
+
+    def _solve_single(self, cns: Constraint, active: List[Variable],
+                      token: int) -> None:
+        """Water-filling specialised to a component with one constraint.
+
+        Replicates :meth:`_progressive_filling` — surfacing order by
+        ``(level, scan rank)``, lazy exactification of the running shared
+        denominator, the near-tie adjudication band, the reference freeze
+        rule — without the candidate heap: with a single constraint the
+        only candidates are the constraint itself (rank 0) and the bound
+        levels of the active variables (ranks 1..n, static), so a sorted
+        list with a skip-frozen pointer replaces the heap.  Values are
+        bit-identical to the general path: every level that freezes a
+        variable is the same reference summation over the same elements
+        in the same order.
+        """
+        elements = cns.elements
+        self.elements_visited += len(elements)
+        shared = cns.shared
+        fat: List[Tuple[float, int, Variable]] = []
+        denom = 0.0
+        live = 0
+        if shared:
+            for elem in elements:
+                var = elem.variable
+                if var._stamp == token:
+                    denom += elem.usage * var.weight
+                    live += 1
+            rem = cns.capacity
+        else:
+            capacity = cns.capacity
+            for elem in elements:
+                var = elem.variable
+                if var._stamp == token:
+                    live += 1
+                    if elem.usage > EPSILON:
+                        fat.append((capacity / (elem.usage * var.weight),
+                                    len(fat), var))
+            fat.sort()
+            rem = 0.0
+        exact = True
+        fi = 0
+        nfat = len(fat)
+
+        # Bound candidates carry the same scan ranks the heap would use.
+        bnds: List[Tuple[float, int, Variable]] = []
+        for aidx, var in enumerate(active):
+            if var.bound is not None:
+                bnds.append((var.bound / var.weight, 1 + aidx, var))
+        bnds.sort()
+        nb = len(bnds)
+        bi = 0
+
+        unassigned = len(active)
+        while unassigned:
+            while bi < nb and bnds[bi][2]._stamp != token:
+                bi += 1
+            # The constraint's current candidate level (None: not a
+            # candidate).  A shared level computed from the running
+            # aggregates is approximate until exactified; fat-pipe levels
+            # are static and always exact.
+            if shared:
+                if live <= 0:
+                    clevel = None
+                elif not exact and denom <= 0.5 * EPSILON:
+                    # Resync after catastrophic cancellation, like the
+                    # touched-constraint loop of the general path.
+                    self.elements_visited += len(elements)
+                    denom = 0.0
+                    for elem in elements:
+                        var = elem.variable
+                        if var._stamp == token:
+                            denom += elem.usage * var.weight
+                    exact = True
+                    clevel = (max(0.0, rem) / denom
+                              if denom > EPSILON else None)
+                elif exact and denom <= EPSILON:
+                    clevel = None
+                else:
+                    clevel = max(0.0, rem) / denom
+            else:
+                while fi < nfat and fat[fi][2]._stamp != token:
+                    fi += 1
+                clevel = fat[fi][0] if fi < nfat else None
+
+            if clevel is None and bi >= nb:
+                # Nothing limits the remaining variables.
+                for var in active:
+                    if var._stamp == token:
+                        var.value = (var.bound if var.bound is not None
+                                     else math.inf)
+                        var._stamp = 0
+                break
+
+            if bi < nb:
+                b_lvl, b_rank, b_var = bnds[bi]
+            else:
+                b_lvl = None
+            # Surfacing order: (level, rank) — the constraint (rank 0)
+            # wins exact ties against any bound entry.
+            winner_is_bound = True
+            if clevel is not None and (b_lvl is None or clevel <= b_lvl):
+                if shared and not exact:
+                    # Exactify at surfacing time, like _peek_candidate.
+                    self.heap_pops += 1
+                    self.elements_visited += len(elements)
+                    denom = 0.0
+                    for elem in elements:
+                        var = elem.variable
+                        if var._stamp == token:
+                            denom += elem.usage * var.weight
+                    exact = True
+                    if denom <= EPSILON:
+                        continue
+                    clevel = max(0.0, rem) / denom
+                    winner_is_bound = (b_lvl is not None and clevel > b_lvl)
+                else:
+                    winner_is_bound = False
+
+            if winner_is_bound:
+                w_lvl, w_rank = b_lvl, b_rank
+            else:
+                w_lvl, w_rank = clevel, 0
+            # Near-tie adjudication band (see _progressive_filling).
+            limit = w_lvl + 2.0 * EPSILON + 1e-9 * w_lvl
+            extras: List[Tuple[float, int, Variable]] = []
+            j = bi + 1 if winner_is_bound else bi
+            while j < nb and bnds[j][0] < limit:
+                if bnds[j][2]._stamp == token:
+                    extras.append(bnds[j])
+                j += 1
+            cns_in_band = False
+            if winner_is_bound and clevel is not None:
+                if shared and not exact:
+                    if clevel < limit:
+                        self.heap_pops += 1
+                        self.elements_visited += len(elements)
+                        denom = 0.0
+                        for elem in elements:
+                            var = elem.variable
+                            if var._stamp == token:
+                                denom += elem.usage * var.weight
+                        exact = True
+                        if denom > EPSILON:
+                            clevel = max(0.0, rem) / denom
+                            cns_in_band = clevel < limit
+                elif clevel < limit:
+                    cns_in_band = True
+            sel_var: Optional[Variable] = None
+            if winner_is_bound:
+                sel_var = b_var
+            if extras or (winner_is_bound and cns_in_band):
+                cands: List[Tuple[float, int, Optional[Variable]]] = []
+                if cns_in_band or not winner_is_bound:
+                    cands.append((clevel, 0, None))
+                if winner_is_bound:
+                    cands.append((b_lvl, b_rank, b_var))
+                cands.extend(extras)
+                cands.sort(key=lambda e: e[1])
+                best = math.inf
+                sel = cands[0]
+                for cand in cands:
+                    if cand[0] < best - EPSILON:
+                        best = cand[0]
+                        sel = cand
+                w_lvl = sel[0]
+                sel_var = sel[2]
+
+            self.heap_pops += 1
+            if sel_var is not None:
+                # A bound freezes one variable; maintain the running
+                # aggregates like the general path's freeze loop.
+                value = w_lvl * sel_var.weight
+                if sel_var.bound is not None:
+                    value = min(value, sel_var.bound)
+                sel_var.value = value
+                sel_var._stamp = 0
+                unassigned -= 1
+                velems = sel_var.elements
+                self.elements_visited += len(velems)
+                if shared:
+                    for elem in velems:
+                        rem = max(0.0, rem - elem.usage * value)
+                        denom -= elem.usage * sel_var.weight
+                    exact = False
+                live -= 1
+            else:
+                # The constraint freezes every remaining variable, in
+                # element order, at its (exact) level.
+                self.elements_visited += 2 * len(elements)
+                for elem in elements:
+                    var = elem.variable
+                    if var._stamp == token:
+                        value = w_lvl * var.weight
+                        if var.bound is not None:
+                            value = min(value, var.bound)
+                        var.value = value
+                        var._stamp = 0
+                        unassigned -= 1
+                break
 
     def _progressive_filling(self, cnss: List[Constraint],
                              active: List[Variable], token: int) -> None:

@@ -89,9 +89,10 @@ class FluidModel:
     def next_event_date(self) -> float:
         """Date of the earliest live event (inf when none is scheduled)."""
         heap = self._heap
+        running = ActionState.RUNNING
         while heap:
             date, _, version, action = heap[0]
-            if version != action._event_version or not action.is_running():
+            if version != action._event_version or action.state is not running:
                 heapq.heappop(heap)
                 continue
             return date
@@ -122,15 +123,17 @@ class FluidModel:
     def share_resources(self, now: float) -> float:
         """Re-solve what changed; return the delay until the next event."""
         self.clock = now
-        for var in self.system.solve():
-            action = var.data
-            if action is None or not action.is_running():
-                continue
-            # The interval since the last sync ran at the previous rate;
-            # account it before adopting the new one.
-            action.sync_remaining(now)
-            action.last_rate = action.rate
-            self._reschedule_action(action, now)
+        system = self.system
+        if system._modified or system._detached_dirty:
+            for var in system.solve():
+                action = var.data
+                if action is None or action.state is not ActionState.RUNNING:
+                    continue
+                # The interval since the last sync ran at the previous
+                # rate; account it before adopting the new one.
+                action.sync_remaining(now)
+                action.last_rate = 0.0 if action._suspended else var.value
+                self._reschedule_action(action, now)
         next_date = self.next_event_date()
         if math.isinf(next_date):
             return math.inf
@@ -156,9 +159,10 @@ class FluidModel:
         self.clock = now
         finished: List[Action] = []
         heap = self._heap
+        running = ActionState.RUNNING
         while heap:
             date, _, version, action = heap[0]
-            if version != action._event_version or not action.is_running():
+            if version != action._event_version or action.state is not running:
                 heapq.heappop(heap)
                 continue
             if date > now + TIME_EPSILON:

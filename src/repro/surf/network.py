@@ -87,12 +87,14 @@ class LinkResource(Resource):
     def __init__(self, name: str, bandwidth: float, latency: float,
                  system: MaxMinSystem, shared: bool = True,
                  bandwidth_trace: Optional[Trace] = None,
-                 state_trace: Optional[Trace] = None) -> None:
+                 state_trace: Optional[Trace] = None,
+                 index: Optional[int] = None) -> None:
         if latency < 0:
             raise ValueError(f"link {name!r}: latency must be >= 0")
         super().__init__(name, bandwidth, system, shared=shared,
                          availability_trace=bandwidth_trace,
-                         state_trace=state_trace)
+                         state_trace=state_trace,
+                         index=index)
         self.bandwidth = float(bandwidth)
         self.latency = float(latency)
 
@@ -104,6 +106,8 @@ class LinkResource(Resource):
 
 class NetworkAction(Action):
     """One data transfer over a fixed sequence of links."""
+
+    __slots__ = ("links", "total_latency", "latency_remaining")
 
     def __init__(self, model: "NetworkModel", links: Sequence[LinkResource],
                  size: float, latency: float, priority: float = 1.0) -> None:
@@ -136,13 +140,19 @@ class NetworkModel(FluidModel):
     def add_link(self, name: str, bandwidth: float, latency: float = 0.0,
                  shared: bool = True,
                  bandwidth_trace: Optional[Trace] = None,
-                 state_trace: Optional[Trace] = None) -> LinkResource:
-        """Register a new link resource."""
+                 state_trace: Optional[Trace] = None,
+                 index: Optional[int] = None) -> LinkResource:
+        """Register a new link resource.
+
+        ``index`` (when given) pins the constraint id to the link's
+        declaration index so numbering is materialization-order
+        independent.
+        """
         if name in self.links:
             raise ValueError(f"duplicate link name {name!r}")
         link = LinkResource(name, bandwidth * self.config.bandwidth_factor,
                             latency, self.system, shared,
-                            bandwidth_trace, state_trace)
+                            bandwidth_trace, state_trace, index=index)
         self.links[name] = link
         return link
 

@@ -42,7 +42,8 @@ class Resource:
                  system: Optional[MaxMinSystem] = None,
                  shared: bool = True,
                  availability_trace: Optional[Trace] = None,
-                 state_trace: Optional[Trace] = None) -> None:
+                 state_trace: Optional[Trace] = None,
+                 index: Optional[int] = None) -> None:
         if peak_capacity < 0:
             raise ValueError(f"resource {name!r}: capacity must be >= 0")
         self.name = name
@@ -54,8 +55,12 @@ class Resource:
         self.constraint: Optional[Constraint] = None
         self._system = system
         if system is not None:
+            # ``index`` pins the constraint id to the resource's platform
+            # declaration index, making the id — and every id-based
+            # tie-break downstream — independent of materialization order
+            # (lazy ≡ eager ≡ sharded to the bit).
             self.constraint = system.new_constraint(
-                peak_capacity, shared=shared, data=self)
+                peak_capacity, shared=shared, data=self, cid=index)
 
     # -- capacity ----------------------------------------------------------------
     @property

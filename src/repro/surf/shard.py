@@ -1,0 +1,845 @@
+"""Sharded kernel: parallel component solves and the zone-partitioned engine.
+
+Layer 1 — :class:`ParallelSolveExecutor`
+----------------------------------------
+
+:meth:`~repro.surf.lmm.MaxMinSystem.solve` already partitions the dirty
+state into independent connected components; this module adds the executor
+that batches those components across worker processes.  The design goals,
+in order:
+
+* **bit-identical results** — a worker reconstructs the component with the
+  same constraint/variable/element orderings the parent holds and runs the
+  very same ``_solve_subsystem`` code, so the solved values are the same
+  IEEE doubles the serial path would produce;
+* **zero overhead for tiny steps** — :meth:`ParallelSolveExecutor.accepts`
+  gates on a component-count and component-size threshold; below it the
+  system keeps the in-process loop and never touches the executor;
+* **flat-array marshalling** — components serialize into one
+  ``multiprocessing.shared_memory`` segment (an int area and a double
+  area), workers write solved values back into the same segment, so the
+  per-batch pickle traffic is a handful of offsets, not object graphs.
+
+Shared-memory layout (per component, offsets into the batch segment):
+
+====  ======================================================================
+ints  ``[ncns, nvars, nelems]`` header, then ``ncns`` shared flags, then
+      ``ncns`` element-slot counts (the *full* ``len(cns.elements)``,
+      including slots owned by zero-weight variables of other
+      components — the scan-length counters see them), then ``nvars``
+      per-variable element counts, then ``nelems`` element pairs
+      ``(cns_index, cpos)`` in variable-major order — ``cpos`` is the
+      element's position inside ``constraint.elements``, so the worker
+      reproduces both the per-variable and the per-constraint element
+      orders exactly; unserialized slots are backfilled with dummy
+      zero-weight elements, which every solver scan stamp-skips just
+      like the parent would skip the foreign zero-weight variable.
+dbls  ``ncns`` capacities, ``nvars`` weights, ``nvars`` bounds (``nan``
+      encodes *unbounded*), ``nelems`` usages, and the ``nvars`` output
+      values the worker writes back.
+====  ======================================================================
+
+Worker processes are forked lazily on the first accepted batch and reused;
+:meth:`close` (also wired to ``weakref.finalize`` and ``atexit``) tears
+down the pool and unlinks the segment so no ``/dev/shm`` entry outlives
+the engine, even on exceptions.
+
+Layer 2 — :class:`ShardedSurfEngine`
+------------------------------------
+
+The :class:`~repro.platform.routing.NetZone` tree doubles as the kernel
+partition: every top-level zone becomes a *shard* with its own CPU and
+network :class:`~repro.surf.model.FluidModel` (and therefore its own LMM
+systems and completion heaps); resources of the root zone — and every
+inter-zone link — live in the root shard.  Shards advance under a
+conservative time window: the commit horizon of a step is the minimum
+next-event date across all shards (the degenerate synchronous window; the
+cross-zone lookahead that would let shards run ahead of each other is
+reported by :meth:`ShardedSurfEngine.lookahead` and recorded in the
+kernel stats).  Cross-zone communications are handed off at the gateway:
+when a route spans several shards, the constraints it touches — and the
+whole weakly-connected closure of variables and constraints entangled
+with them — migrate into the root shard, ids intact, so every LMM
+component always lives wholly inside one system.
+
+Bit-identity with the flat kernel holds because every global ordering is
+preserved: constraint ids are declaration indices (order-independent
+numbering), variable ids come from one shared per-kind allocator, the
+completion heaps share one per-kind sequence counter and due events pop
+merged by ``(date, seq)`` — exactly the keys the flat single-heap pop
+loop uses.
+"""
+
+from __future__ import annotations
+
+import atexit
+import heapq
+import itertools
+import math
+import os
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from repro.surf.cpu import CpuModel, CpuResource
+from repro.surf.engine import SurfEngine
+from repro.surf.lmm import Constraint, Element, MaxMinSystem, Variable
+from repro.surf.model import TIME_EPSILON, FluidModel
+from repro.surf.network import LinkResource, NetworkModel, NetworkModelConfig
+from repro.surf.resource import Resource
+
+__all__ = ["ParallelSolveExecutor", "ShardedSurfEngine", "default_workers"]
+
+_SHM_PREFIX = "repro_lmm_"
+_segment_ids = itertools.count(1)
+
+# Counters a worker reports back after solving its components.
+_COUNTER_NAMES = ("constraints_solved", "variables_solved",
+                  "elements_visited", "heap_pops")
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_PARALLEL`` (0 disables; unset = auto).
+
+    Auto keeps one core for the main loop: ``cpu_count - 1``, which is 0
+    — parallelism disabled — on a single-core machine.
+    """
+    raw = os.environ.get("REPRO_PARALLEL", "").strip().lower()
+    if raw in ("", "auto"):
+        return max(0, (os.cpu_count() or 1) - 1)
+    try:
+        value = int(raw)
+    except ValueError:
+        return 0
+    return max(0, value)
+
+
+def _build_component(ints, dbls, int_off: int, dbl_off: int):
+    """Rebuild one component from the flat arrays.
+
+    Returns ``(cnss, variables, value_offset)``; orderings replicate the
+    parent's exactly (see the module docstring).
+    """
+    ncns = ints[int_off]
+    nvars = ints[int_off + 1]
+    nelems = ints[int_off + 2]
+    flags_off = int_off + 3
+    slots_off = flags_off + ncns
+    counts_off = slots_off + ncns
+    elems_off = counts_off + nvars
+
+    caps_off = dbl_off
+    weights_off = caps_off + ncns
+    bounds_off = weights_off + nvars
+    usages_off = bounds_off + nvars
+    values_off = usages_off + nelems
+
+    cnss: List[Constraint] = []
+    for i in range(ncns):
+        cns = Constraint(i, dbls[caps_off + i],
+                         shared=bool(ints[flags_off + i]))
+        cns.elements = [None] * ints[slots_off + i]  # type: ignore[list-item]
+        cnss.append(cns)
+
+    variables: List[Variable] = []
+    eidx = 0
+    for i in range(nvars):
+        bound = dbls[bounds_off + i]
+        if bound != bound:          # nan: unbounded
+            bound = None
+        var = Variable(i, dbls[weights_off + i], bound)
+        variables.append(var)
+        for _ in range(ints[counts_off + i]):
+            base = elems_off + 2 * eidx
+            cns = cnss[ints[base]]
+            elem = Element(var, cns, dbls[usages_off + eidx])
+            elem._cpos = ints[base + 1]
+            var.elements.append(elem)
+            cns.elements[elem._cpos] = elem
+            eidx += 1
+    # Slots owned by zero-weight variables of *other* components were not
+    # serialized; backfill them with stamp-stale dummies that every scan
+    # skips, keeping scan lengths identical to the parent's.
+    dummy = Variable(-1, 0.0)
+    for cns in cnss:
+        for pos, elem in enumerate(cns.elements):
+            if elem is None:
+                filler = Element(dummy, cns, 0.0)
+                filler._cpos = pos
+                cns.elements[pos] = filler
+    return cnss, variables, values_off
+
+
+def _worker_main(conn) -> None:
+    """Body of one solver worker: loop on (shm_name, specs) tasks."""
+    from multiprocessing import shared_memory
+
+    segments: Dict[str, object] = {}
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            shm_name, specs = task
+            shm = segments.get(shm_name)
+            if shm is None:
+                # A previous segment of this batch pool was outgrown.
+                for old in segments.values():
+                    old.close()
+                segments.clear()
+                shm = shared_memory.SharedMemory(name=shm_name)
+                try:
+                    # The parent owns the segment; without this the
+                    # worker's resource tracker double-accounts it and
+                    # warns (or double-unlinks) at shutdown.
+                    from multiprocessing import resource_tracker
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:  # pragma: no cover - best effort
+                    pass
+                segments[shm_name] = shm
+            ints = memoryview(shm.buf).cast("q")
+            dbls = memoryview(shm.buf).cast("d")
+            system = MaxMinSystem()
+            try:
+                for int_off, dbl_off in specs:
+                    cnss, variables, values_off = _build_component(
+                        ints, dbls, int_off, dbl_off)
+                    system._solve_subsystem(cnss, variables, [])
+                    for i, var in enumerate(variables):
+                        dbls[values_off + i] = var.value
+                counters = [getattr(system, name)
+                            for name in _COUNTER_NAMES]
+                reply = ("ok", counters)
+            except Exception as exc:  # pragma: no cover - defensive
+                reply = ("error", repr(exc))
+            finally:
+                del ints, dbls
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        for shm in segments.values():
+            shm.close()
+        conn.close()
+
+
+def _release(state: dict) -> None:
+    """Idempotent teardown shared by close(), finalize and atexit."""
+    procs = state.pop("procs", [])
+    for conn, _proc in procs:
+        try:
+            conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+    for conn, proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+            proc.join(timeout=2.0)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+    shm = state.pop("shm", None)
+    if shm is not None:
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+class ParallelSolveExecutor:
+    """Batches independent LMM components across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` reads ``REPRO_PARALLEL`` (``0``
+        disables, unset means ``cpu_count - 1``).  With 0 workers the
+        executor never accepts a batch, so attaching it costs nothing.
+    min_components:
+        Minimum number of dirty components before a batch qualifies.
+    min_work:
+        Minimum summed component size (constraints + variables) before a
+        batch qualifies — tiny steps stay on the in-process path.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 min_components: int = 2, min_work: int = 256) -> None:
+        self.workers = default_workers() if workers is None else max(0, workers)
+        self.min_components = min_components
+        self.min_work = min_work
+        self._state: dict = {"procs": [], "shm": None}
+        self._started = False
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _release, self._state)
+        atexit.register(self._finalizer)
+        # Observability (aggregated into engine.kernel_stats()).
+        self.batches = 0
+        self.components_parallel = 0
+        self.fallbacks = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def _start(self) -> bool:
+        import multiprocessing
+
+        if self._closed:
+            return False
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            self.workers = 0
+            return False
+        procs = []
+        for _ in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            procs.append((parent_conn, proc))
+        self._state["procs"] = procs
+        self._started = True
+        return True
+
+    def close(self) -> None:
+        """Release worker processes and the shared-memory segment.
+
+        Safe to call multiple times; also runs via ``weakref.finalize``
+        and ``atexit`` so segments never leak across test runs, even when
+        the owning engine dies on an exception.
+        """
+        self._closed = True
+        if self._finalizer.alive:
+            atexit.unregister(self._finalizer)
+            self._finalizer()
+
+    def __enter__(self) -> "ParallelSolveExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- batch gate --------------------------------------------------------------
+    def accepts(self, components) -> bool:
+        """True when a batch is worth shipping to the workers."""
+        if self.workers <= 0 or self._closed:
+            return False
+        if len(components) < self.min_components:
+            return False
+        work = 0
+        for cnss, variables in components:
+            work += len(cnss) + len(variables)
+            if work >= self.min_work:
+                return True
+        return False
+
+    # -- marshalling -------------------------------------------------------------
+    def _segment(self, nbytes: int):
+        from multiprocessing import shared_memory
+
+        shm = self._state.get("shm")
+        if shm is not None and shm.size >= nbytes:
+            return shm
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+        # Process-wide counter: several executors may coexist (one per
+        # engine under test), each needing a unique segment name.
+        name = f"{_SHM_PREFIX}{os.getpid()}_{next(_segment_ids)}"
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(nbytes, 1 << 16))
+        self._state["shm"] = shm
+        return shm
+
+    def solve_batch(self, system: MaxMinSystem, components,
+                    changed: List[Variable],
+                    boundaries: Optional[List[Tuple[int, int]]] = None
+                    ) -> None:
+        """Solve ``components`` of ``system`` across the worker pool.
+
+        Results (values, ``changed`` report, solver counters) are exactly
+        those of the serial loop.  ``boundaries``, when given, receives
+        one ``(start, end)`` slice of ``changed`` per component, like the
+        serial loop records for :meth:`MaxMinSystem.solve_grouped`.  Any
+        worker failure falls back to the in-process path for the whole
+        batch — sub-solves are idempotent, so partially written values
+        are simply overwritten.
+        """
+        if not self._started and not self._start():
+            self.fallbacks += 1
+            self._solve_inline(system, components, changed, boundaries)
+            return
+
+        # Size the flat areas (an upper bound on nelems is fine: the
+        # actually-serialized count lands in the header).
+        int_len = 0
+        dbl_len = 0
+        for cnss, variables in components:
+            nelems = sum(len(v.elements) for v in variables)
+            int_len += 3 + 2 * len(cnss) + len(variables) + 2 * nelems
+            dbl_len += len(cnss) + 3 * len(variables) + nelems
+        shm = self._segment(8 * (int_len + dbl_len))
+        ints = memoryview(shm.buf).cast("q")
+        dbls = memoryview(shm.buf).cast("d")
+
+        specs: List[Tuple[int, int]] = []
+        value_offs: List[int] = []
+        io = 0
+        do = int_len  # doubles area starts right after the int area
+        try:
+            for cnss, variables in components:
+                specs.append((io, do))
+                nelems = 0
+                cns_index = {}
+                for idx, cns in enumerate(cnss):
+                    cns_index[id(cns)] = idx
+                    ints[io + 3 + idx] = 1 if cns.shared else 0
+                    ints[io + 3 + len(cnss) + idx] = len(cns.elements)
+                    dbls[do + idx] = cns.capacity
+                counts_off = io + 3 + 2 * len(cnss)
+                elems_off = counts_off + len(variables)
+                weights_off = do + len(cnss)
+                bounds_off = weights_off + len(variables)
+                usages_off = bounds_off + len(variables)
+                for vidx, var in enumerate(variables):
+                    count = 0
+                    for elem in var.elements:
+                        # A zero-weight variable can cross into constraints
+                        # of other components; the solver never reads those
+                        # incidences, so they stay home.
+                        cidx = cns_index.get(id(elem.constraint))
+                        if cidx is None:
+                            continue
+                        base = elems_off + 2 * nelems
+                        ints[base] = cidx
+                        ints[base + 1] = elem._cpos
+                        dbls[usages_off + nelems] = elem.usage
+                        nelems += 1
+                        count += 1
+                    ints[counts_off + vidx] = count
+                    dbls[weights_off + vidx] = var.weight
+                    dbls[bounds_off + vidx] = (math.nan if var.bound is None
+                                               else var.bound)
+                ints[io] = len(cnss)
+                ints[io + 1] = len(variables)
+                ints[io + 2] = nelems
+                value_offs.append(usages_off + nelems)
+                io = elems_off + 2 * nelems
+                do = value_offs[-1] + len(variables)
+
+            # Round-robin the components over the workers.
+            procs = self._state["procs"]
+            shares: List[List[Tuple[int, int]]] = [[] for _ in procs]
+            for i, spec in enumerate(specs):
+                shares[i % len(procs)].append(spec)
+            busy = []
+            ok = True
+            for (conn, proc), share in zip(procs, shares):
+                if not share:
+                    continue
+                try:
+                    conn.send((shm.name, share))
+                    busy.append(conn)
+                except (BrokenPipeError, OSError):
+                    ok = False
+                    break
+            deltas = [0] * len(_COUNTER_NAMES)
+            if ok:
+                for conn in busy:
+                    try:
+                        status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        ok = False
+                        break
+                    if status != "ok":
+                        ok = False
+                        break
+                    for i, delta in enumerate(payload):
+                        deltas[i] += delta
+            if not ok:
+                # Worker trouble: disable ourselves and redo inline.
+                self.fallbacks += 1
+                self.workers = 0
+                self._solve_inline(system, components, changed, boundaries)
+                return
+
+            self.batches += 1
+            self.components_parallel += len(components)
+            for name, delta in zip(_COUNTER_NAMES, deltas):
+                setattr(system, name, getattr(system, name) + delta)
+            # Apply values and build the changed report in submission
+            # order — the order the serial loop reports in.
+            for (cnss, variables), voff in zip(components, value_offs):
+                start = len(changed)
+                for i, var in enumerate(variables):
+                    value = dbls[voff + i]
+                    if value != var.value:
+                        var.value = value
+                        changed.append(var)
+                if boundaries is not None:
+                    boundaries.append((start, len(changed)))
+        finally:
+            # Memoryviews into shm.buf must die before the segment can be
+            # closed/unlinked later.
+            del ints, dbls
+
+    @staticmethod
+    def _solve_inline(system: MaxMinSystem, components,
+                      changed: List[Variable],
+                      boundaries: Optional[List[Tuple[int, int]]]) -> None:
+        """Serial fallback, identical to the loop in ``solve()``."""
+        for cnss, variables in components:
+            start = len(changed)
+            system._solve_subsystem(cnss, variables, changed)
+            if boundaries is not None:
+                boundaries.append((start, len(changed)))
+
+    # -- observability -----------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "batches": self.batches,
+            "components_parallel": self.components_parallel,
+            "fallbacks": self.fallbacks,
+        }
+
+
+class ShardedSurfEngine(SurfEngine):
+    """Zone-partitioned SURF engine (Layer 2 of the sharded kernel).
+
+    Each name in ``shard_names`` (the platform's top-level zones) gets its
+    own :class:`CpuModel` and :class:`NetworkModel`; the inherited
+    ``cpu_model``/``network_model`` pair is the *root shard*, holding the
+    root zone's resources, every inter-zone link, and every cross-zone
+    flow.  Bit-identity with the flat engine rests on four shared pieces
+    of global state:
+
+    * constraint ids — platform declaration indices (satellite 1);
+    * variable ids — one shared allocator per model kind;
+    * heap sequence numbers — one shared counter per model kind;
+    * the engine clock and trace heap — inherited, engine-global.
+
+    The share phase merges per-shard solve results back into flat order
+    (detached variables by id, then components by trigger id) before
+    rescheduling, and the update phase pops the per-shard heaps merged by
+    ``(date, seq)`` — so every simulated date, completion order and
+    tie-break matches the flat kernel to the bit.
+    """
+
+    def __init__(self, shard_names=(),
+                 network_config: Optional[NetworkModelConfig] = None) -> None:
+        super().__init__(CpuModel(), NetworkModel(network_config))
+        # Shared per-kind allocators: variable ids and heap sequence
+        # numbers must be global or id/seq-based tie-breaks would diverge
+        # from the flat kernel.
+        self._cpu_var_ids = itertools.count()
+        self._net_var_ids = itertools.count()
+        self._cpu_seq = itertools.count()
+        self._net_seq = itertools.count()
+        #: Shard key "" is the root shard.
+        self.cpu_shards: Dict[str, CpuModel] = {"": self.cpu_model}
+        self.net_shards: Dict[str, NetworkModel] = {"": self.network_model}
+        for name in shard_names:
+            self.cpu_shards[name] = CpuModel()
+            self.net_shards[name] = NetworkModel(self.network_model.config)
+        self._cpu_list = list(self.cpu_shards.values())
+        self._net_list = list(self.net_shards.values())
+        for model in self._cpu_list:
+            model.system._var_ids = self._cpu_var_ids
+            model._seq = self._cpu_seq
+        for model in self._net_list:
+            model.system._var_ids = self._net_var_ids
+            model._seq = self._net_seq
+        self.models = self._cpu_list + self._net_list
+        self._system_model: Dict[int, FluidModel] = {
+            id(model.system): model for model in self.models}
+        #: Count of gateway handoffs (constraint closures migrated into
+        #: the root shard by cross-zone communications).
+        self.migrations = 0
+
+    # -- shard resolution --------------------------------------------------------
+    @staticmethod
+    def shard_key(zone) -> str:
+        """The shard key of a zone: its top-level ancestor's name.
+
+        The root zone (and ``None``) map to ``""``, the root shard.
+        """
+        if zone is None or zone.parent is None:
+            return ""
+        while zone.parent is not None and zone.parent.parent is not None:
+            zone = zone.parent
+        return zone.name
+
+    def model_of(self, resource: Resource) -> FluidModel:
+        model = self._system_model.get(id(resource._system))
+        if model is not None:
+            return model
+        return super().model_of(resource)
+
+    def add_cpu(self, name, speed, cores=1, availability_trace=None,
+                state_trace=None, index=None, zone=None) -> CpuResource:
+        key = self.shard_key(zone)
+        model = self.cpu_shards.get(key, self.cpu_model)
+        return model.add_cpu(name, speed, cores,
+                             availability_trace=availability_trace,
+                             state_trace=state_trace, index=index)
+
+    def add_link(self, name, bandwidth, latency=0.0, shared=True,
+                 bandwidth_trace=None, state_trace=None, index=None,
+                 zone=None) -> LinkResource:
+        key = self.shard_key(zone)
+        model = self.net_shards.get(key, self.network_model)
+        return model.add_link(name, bandwidth, latency, shared,
+                              bandwidth_trace=bandwidth_trace,
+                              state_trace=state_trace, index=index)
+
+    # -- gateway handoff ---------------------------------------------------------
+    def communicate(self, links, size, extra_latency=0.0, rate=None,
+                    priority=1.0):
+        """Start a transfer, migrating cross-zone routes to the root shard.
+
+        A route wholly inside one shard runs in that shard's network
+        model.  A route spanning several shards is handed off at the
+        gateway: every touched link constraint — with the whole
+        weakly-connected closure of variables and constraints entangled
+        with it — migrates into the root shard first, ids intact, so the
+        flow's LMM component lives in exactly one system.
+        """
+        owners = {id(link._system) for link in links}
+        if len(owners) == 1:
+            model = self._system_model[owners.pop()]
+        else:
+            model = self.network_model
+            if owners:
+                self._migrate_links(links)
+        return model.communicate(links, size, extra_latency, rate, priority)
+
+    def _migrate_links(self, links) -> None:
+        root_model = self.network_model
+        root_system = root_model.system
+        seeds_by_model: Dict[int, List[Constraint]] = {}
+        for link in links:
+            if link._system is root_system:
+                continue
+            seeds_by_model.setdefault(id(link._system), []).append(
+                link.constraint)
+        for sys_id, seeds in seeds_by_model.items():
+            src_model = self._system_model[sys_id]
+            self._migrate_closure(src_model, seeds)
+            self.migrations += 1
+
+    def _migrate_closure(self, src_model: NetworkModel,
+                         seeds: List[Constraint]) -> None:
+        """Move the weakly-connected closure of ``seeds`` to the root shard.
+
+        Unlike the solver's component traversal, the closure follows
+        zero-weight edges too: a variable's elements must all live in the
+        system that owns the variable, or the incidence bookkeeping
+        (``expand``/``remove_variable``/dirtiness) would straddle systems.
+        """
+        dst_model = self.network_model
+        src_system, dst_system = src_model.system, dst_model.system
+        cnss: set = set()
+        moved_vars: set = set()
+        stack = list(seeds)
+        while stack:
+            cns = stack.pop()
+            if cns in cnss:
+                continue
+            cnss.add(cns)
+            for elem in cns.elements:
+                var = elem.variable
+                if var in moved_vars:
+                    continue
+                moved_vars.add(var)
+                for other in var.elements:
+                    if other.constraint not in cnss:
+                        stack.append(other.constraint)
+
+        # Constraints: membership lists, dirtiness, resource back-pointers.
+        src_system.constraints = [c for c in src_system.constraints
+                                  if c not in cnss]
+        dst_system.constraints.extend(sorted(cnss, key=lambda c: c.id))
+        for cns in cnss:
+            if cns in src_system._modified:
+                src_system._modified.discard(cns)
+                dst_system._modified.add(cns)
+            resource = cns.data
+            if isinstance(resource, Resource):
+                resource._system = dst_system
+                if isinstance(resource, LinkResource):
+                    src_model.links.pop(resource.name, None)
+                    dst_model.links[resource.name] = resource
+
+        # Variables and their actions.
+        moved_actions: set = set()
+        for var in moved_vars:
+            src_system._vars.pop(var.id, None)
+            dst_system._vars[var.id] = var
+            if var in src_system._detached_dirty:  # pragma: no cover
+                src_system._detached_dirty.discard(var)
+                dst_system._detached_dirty.add(var)
+            action = var.data
+            if action is not None and getattr(action, "model", None) is src_model:
+                moved_actions.add(action)
+                action.model = dst_model
+                src_model.running.discard(action)
+                if action.is_running():
+                    dst_model.running.add(action)
+
+        # Heap entries migrate verbatim: the shared sequence counter makes
+        # the tuples globally ordered, so pushing them unchanged into the
+        # root heap preserves every (date, seq) tie-break.
+        if moved_actions:
+            keep = []
+            for entry in src_model._heap:
+                if entry[3] in moved_actions:
+                    heapq.heappush(dst_model._heap, entry)
+                else:
+                    keep.append(entry)
+            heapq.heapify(keep)
+            src_model._heap = keep
+
+    # -- merged phases -----------------------------------------------------------
+    def _share_phase(self, now: float) -> float:
+        for model in self.models:
+            model.clock = now
+        for kind_list in (self._cpu_list, self._net_list):
+            entries = []
+            for model in kind_list:
+                # Clean shards skip the solve entirely — same gate the flat
+                # kernel applies in share_resources, so the per-step cost
+                # scales with the number of *dirty* shards, not the shard
+                # count.
+                system = model.system
+                if not system._modified and not system._detached_dirty:
+                    continue
+                changed, groups = system.solve_grouped()
+                if not changed:
+                    continue
+                detached_end = groups[0][1] if groups else len(changed)
+                for i in range(detached_end):
+                    var = changed[i]
+                    entries.append(((0, var.id, 0), var, model))
+                for trigger, start, end in groups:
+                    for j in range(start, end):
+                        entries.append(((1, trigger, j - start),
+                                        changed[j], model))
+            # Flat order: detached variables by id, then components by
+            # trigger id — globally valid because ids are global.
+            entries.sort(key=lambda e: e[0])
+            for _key, var, model in entries:
+                action = var.data
+                if action is None or not action.is_running():
+                    continue
+                action.sync_remaining(now)
+                action.last_rate = action.rate
+                model._reschedule_action(action, now)
+        min_delta = math.inf
+        for model in self.models:
+            next_date = model.next_event_date()
+            if math.isinf(next_date):
+                continue
+            delta = max(0.0, next_date - now)
+            if delta < min_delta:
+                min_delta = delta
+        return min_delta
+
+    def _update_phase(self, now: float, delta: float):
+        for model in self.models:
+            model.clock = now
+        completed = []
+        horizon = now + TIME_EPSILON
+        for kind_list in (self._cpu_list, self._net_list):
+            # Only shards with a due head participate in the merge scan.
+            # Firing an event never pushes new heap entries (completions
+            # pop, latency ends only dirty the system for the next solve),
+            # so the due set cannot grow while the phase runs.
+            due = []
+            for model in kind_list:
+                heap = model._heap
+                while heap:
+                    date, seq, version, action = heap[0]
+                    if (version != action._event_version
+                            or not action.is_running()):
+                        heapq.heappop(heap)
+                        continue
+                    break
+                if heap and heap[0][0] <= horizon:
+                    due.append(model)
+            if not due:
+                continue
+            while True:
+                best_model = None
+                best_key = None
+                for model in due:
+                    heap = model._heap
+                    while heap:
+                        date, seq, version, action = heap[0]
+                        if (version != action._event_version
+                                or not action.is_running()):
+                            heapq.heappop(heap)
+                            continue
+                        break
+                    if not heap:
+                        continue
+                    date, seq = heap[0][0], heap[0][1]
+                    if date > horizon:
+                        continue
+                    if best_key is None or (date, seq) < best_key:
+                        best_key = (date, seq)
+                        best_model = model
+                if best_model is None:
+                    break
+                _date, _seq, _version, action = heapq.heappop(best_model._heap)
+                action._event_version += 1
+                best_model._fire_event(action, now, completed)
+        return completed
+
+    # -- conservative window / observability -------------------------------------
+    def lookahead(self) -> dict:
+        """The conservative time-window bound between shards.
+
+        The window within which a shard could safely advance without
+        hearing from the others is ``earliest local completion +
+        min cross-shard lookahead``, where the lookahead is the smallest
+        latency of any inter-zone link (all of which live in the root
+        shard): no remote event can influence a shard sooner than one
+        gateway latency after it fires.  The engine currently *commits*
+        only the degenerate synchronous window — the global minimum event
+        date, bit-identical to the flat kernel by construction — and
+        reports the derived bound here for observability.
+        """
+        min_gateway_latency = min(
+            (link.latency for link in self.network_model.links.values()),
+            default=math.inf)
+        earliest = math.inf
+        for model in self.models:
+            earliest = min(earliest, model.next_event_date())
+        window = earliest
+        if not math.isinf(min_gateway_latency) and not math.isinf(earliest):
+            window = earliest + min_gateway_latency
+        return {
+            "min_gateway_latency": min_gateway_latency,
+            "earliest_completion": earliest,
+            "window": window,
+        }
+
+    def kernel_stats(self) -> dict:
+        stats = super().kernel_stats()
+        stats["shards"] = {
+            "count": len(self.cpu_shards),
+            "names": [name or "<root>" for name in self.cpu_shards],
+            "migrations": self.migrations,
+        }
+        stats["window"] = self.lookahead()
+        return stats

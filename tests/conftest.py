@@ -1,0 +1,34 @@
+"""Shared fixtures: guard against leaked parallel-solve shared memory.
+
+The :class:`~repro.surf.shard.ParallelSolveExecutor` owns POSIX shared
+memory segments named ``repro_lmm_<pid>_<seq>``.  They must be released
+by ``close()`` (or the ``weakref.finalize``/``atexit`` safety nets) —
+a segment that survives the test session would accumulate in
+``/dev/shm`` across pytest runs.  This check is scoped to the current
+process id so concurrent pytest invocations don't trip each other.
+"""
+
+import os
+
+import pytest
+
+_SHM_DIR = "/dev/shm"
+_PREFIX = f"repro_lmm_{os.getpid()}_"
+
+
+def _our_segments():
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # platform without /dev/shm
+        return []
+    return sorted(n for n in names if n.startswith(_PREFIX))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_shm_segments():
+    before = _our_segments()
+    yield
+    leaked = [n for n in _our_segments() if n not in before]
+    assert not leaked, (
+        f"parallel-solve shared memory leaked past the test session: {leaked}"
+    )

@@ -1,0 +1,203 @@
+"""Parallel component solves ≡ the serial solver, bit for bit.
+
+The PR-7 contract for :class:`~repro.surf.shard.ParallelSolveExecutor`
+is strict: with the executor attached and forced to accept every batch,
+a solve must produce exactly the values, the ``changed`` report, the
+solver counters and the dirtiness bookkeeping of the in-process loop.
+The hypothesis suite is derandomized so CI replays the same systems on
+every run.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.surf.lmm import MaxMinSystem
+from repro.surf.shard import ParallelSolveExecutor, default_workers
+
+
+# ---------------------------------------------------------------------------
+# Random-system specs.  A spec is plain data so the same spec can build two
+# structurally identical systems (one solved serially, one in workers).
+# ---------------------------------------------------------------------------
+
+@st.composite
+def system_specs(draw):
+    ncns = draw(st.integers(min_value=2, max_value=18))
+    nvars = draw(st.integers(min_value=2, max_value=40))
+    constraints = [
+        (draw(st.floats(min_value=0.5, max_value=50.0)),  # capacity
+         draw(st.booleans()))                              # shared / fatpipe
+        for _ in range(ncns)
+    ]
+    variables = []
+    for _ in range(nvars):
+        zero = draw(st.integers(min_value=0, max_value=9)) == 0
+        weight = 0.0 if zero else draw(
+            st.floats(min_value=0.1, max_value=8.0))
+        bound = draw(st.one_of(
+            st.none(), st.floats(min_value=0.1, max_value=30.0)))
+        degree = draw(st.integers(min_value=1, max_value=3))
+        edges = draw(st.lists(
+            st.tuples(st.integers(min_value=0, max_value=ncns - 1),
+                      st.floats(min_value=0.1, max_value=4.0)),
+            min_size=degree, max_size=degree,
+            unique_by=lambda e: e[0]))
+        variables.append((weight, bound, edges))
+    # A perturbation round exercises the incremental dirty path.
+    perturbs = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=nvars - 1),
+                  st.floats(min_value=0.0, max_value=6.0)),
+        min_size=0, max_size=6))
+    return constraints, variables, perturbs
+
+
+def materialize(spec):
+    """Build a fresh system (plus cns/var handles) from a spec."""
+    cns_specs, var_specs, _ = spec
+    system = MaxMinSystem()
+    cnss = [system.new_constraint(cap, shared=shared)
+            for cap, shared in cns_specs]
+    variables = []
+    for weight, bound, edges in var_specs:
+        var = system.new_variable(weight=weight, bound=bound)
+        for cidx, usage in edges:
+            system.expand(cnss[cidx], var, usage)
+        variables.append(var)
+    return system, cnss, variables
+
+
+def snapshot(system, changed):
+    counters = (system.constraints_solved, system.variables_solved,
+                system.elements_visited, system.heap_pops)
+    values = {var.id: var.value for var in system.variables}
+    return values, [var.id for var in changed], counters
+
+
+@pytest.fixture(scope="module")
+def forced_executor():
+    """One worker pool for the whole module: every batch qualifies."""
+    executor = ParallelSolveExecutor(workers=2, min_components=1, min_work=1)
+    yield executor
+    executor.close()
+
+
+DERANDOMIZED = settings(
+    max_examples=20, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+@DERANDOMIZED
+@given(spec=system_specs())
+def test_parallel_solve_matches_serial(spec, forced_executor):
+    serial_sys, _, serial_vars = materialize(spec)
+    worker_sys, _, worker_vars = materialize(spec)
+    worker_sys.executor = forced_executor
+
+    serial = snapshot(serial_sys, serial_sys.solve())
+    parallel = snapshot(worker_sys, worker_sys.solve())
+    assert parallel == serial
+    assert not worker_sys._modified and not worker_sys._detached_dirty
+
+    # Incremental round: same perturbations on both sides, same result.
+    for vidx, weight in spec[2]:
+        serial_sys.update_variable_weight(serial_vars[vidx], weight)
+        worker_sys.update_variable_weight(worker_vars[vidx], weight)
+    serial = snapshot(serial_sys, serial_sys.solve())
+    parallel = snapshot(worker_sys, worker_sys.solve())
+    assert parallel == serial
+    assert not worker_sys._modified and not worker_sys._detached_dirty
+
+
+@DERANDOMIZED
+@given(spec=system_specs())
+def test_parallel_solve_grouped_matches_serial(spec, forced_executor):
+    serial_sys = materialize(spec)[0]
+    worker_sys = materialize(spec)[0]
+    worker_sys.executor = forced_executor
+
+    serial_changed, serial_groups = serial_sys.solve_grouped()
+    worker_changed, worker_groups = worker_sys.solve_grouped()
+    assert [v.id for v in worker_changed] == [v.id for v in serial_changed]
+    assert worker_groups == serial_groups
+
+
+class TestExecutorLifecycle:
+    def test_small_batches_stay_in_process(self):
+        executor = ParallelSolveExecutor(workers=2, min_components=2,
+                                         min_work=256)
+        with executor:
+            system = MaxMinSystem()
+            system.executor = executor
+            cns = system.new_constraint(1.0)
+            var = system.new_variable()
+            system.expand(cns, var, 1.0)
+            system.solve()
+            assert var.value == pytest.approx(1.0)
+            # one tiny component: below both thresholds, never shipped
+            assert executor.batches == 0
+
+    def test_zero_workers_never_accepts(self):
+        executor = ParallelSolveExecutor(workers=0, min_components=1,
+                                         min_work=1)
+        assert not executor.accepts([([], [object()] * 100)])
+        executor.close()
+
+    def test_close_releases_workers_and_segments(self):
+        executor = ParallelSolveExecutor(workers=2, min_components=1,
+                                         min_work=1)
+        system = MaxMinSystem()
+        system.executor = executor
+        for _ in range(4):
+            cns = system.new_constraint(1.0)
+            var = system.new_variable()
+            system.expand(cns, var, 1.0)
+        system.solve()
+        assert executor.batches == 1
+        procs = [proc for _, proc in executor._state["procs"]]
+        assert procs and all(proc.is_alive() for proc in procs)
+        segment = executor._state["shm"].name.lstrip("/")
+        executor.close()
+        for proc in procs:
+            proc.join(timeout=5.0)
+            assert not proc.is_alive()
+        if os.path.isdir("/dev/shm"):
+            assert segment not in os.listdir("/dev/shm")
+        executor.close()  # idempotent
+
+    def test_dead_workers_fall_back_to_serial(self):
+        executor = ParallelSolveExecutor(workers=2, min_components=1,
+                                         min_work=1)
+        with executor:
+            system = MaxMinSystem()
+            system.executor = executor
+            cnss = [system.new_constraint(float(i + 1)) for i in range(3)]
+            variables = []
+            for cns in cnss:
+                var = system.new_variable()
+                system.expand(cns, var, 1.0)
+                variables.append(var)
+            system.solve()
+            assert executor.batches == 1
+            for _, proc in executor._state["procs"]:
+                proc.terminate()
+                proc.join(timeout=5.0)
+            for var in variables:
+                system.update_variable_weight(var, 2.0)
+            system.solve()
+            # the batch failed over to the in-process path, correctly
+            assert executor.fallbacks >= 1
+            assert executor.workers == 0
+            for i, var in enumerate(variables):
+                assert var.value == pytest.approx(float(i + 1))
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert default_workers() == 0
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_PARALLEL", "not-a-number")
+        assert default_workers() == 0
+        monkeypatch.delenv("REPRO_PARALLEL")
+        assert default_workers() == max((os.cpu_count() or 1) - 1, 0)

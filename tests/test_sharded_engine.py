@@ -1,0 +1,164 @@
+"""Zone-partitioned (sharded) engine ≡ flat engine, date for date.
+
+The PR-7 partitioned kernel runs one pair of fluid models per top-level
+:class:`~repro.platform.routing.NetZone` and merges their share/update
+phases under a conservative window.  Every simulated date it pins must
+be *bit-identical* to the flat single-model kernel — including under
+failure-injection churn whose victims sit on cross-zone routes, and
+with the parallel solve executor enabled on top.
+"""
+
+import pytest
+
+from repro import s4u
+from repro.exceptions import TransferFailureError
+from repro.platform import make_zoned_grid
+from repro.s4u import FailureInjector
+
+
+def zoned_platform():
+    return make_zoned_grid(num_sites=3, hosts_per_site=4)
+
+
+def run_exchange_workload(platform=None, sharded=False, engine=None):
+    """Mixed intra-/cross-site execs and transfers; returns the event log."""
+    if engine is None:
+        engine = s4u.Engine(platform or zoned_platform(), sharded=sharded)
+    log = []
+
+    # (sender, receiver) pairs: two stay inside a site, two cross sites,
+    # and the two cross-site pairs share the wan-1 link so cross-zone
+    # contention lands in one migrated component.
+    pairs = [
+        ("site-0-host-1", "site-0-host-2"),
+        ("site-0-host-3", "site-1-host-1"),
+        ("site-1-host-2", "site-2-host-2"),
+        ("site-2-host-3", "site-2-host-1"),
+    ]
+
+    def sender(actor, i, dst):
+        yield actor.execute(2e8 * (i + 1))
+        log.append((actor.now, f"sent-{i}"))
+        yield actor.engine.mailbox(f"m{i}").put(i, size=5e5 * (i + 1))
+        log.append((actor.now, f"put-{i}"))
+
+    def receiver(actor, i):
+        yield actor.engine.mailbox(f"m{i}").get()
+        log.append((actor.now, f"got-{i}"))
+        yield actor.execute(1e8)
+        log.append((actor.now, f"done-{i}"))
+
+    for i, (src, dst) in enumerate(pairs):
+        engine.add_actor(f"s{i}", src, sender, i, dst)
+        engine.add_actor(f"r{i}", dst, receiver, i)
+    log.append((engine.run(), "end"))
+    return log, engine
+
+
+def run_churn_workload(sharded=False):
+    """Cross-zone fan-in under seeded host/link churn; returns the log."""
+    engine = s4u.Engine(zoned_platform(), sharded=sharded)
+    log = []
+    want = [25]
+
+    def sink(actor):
+        box = actor.engine.mailbox("sink")
+        while want[0] > 0:
+            try:
+                payload = yield box.get()
+            except TransferFailureError:
+                continue
+            want[0] -= 1
+            log.append((actor.now, f"recv-{payload}"))
+
+    def worker(actor, i):
+        while True:
+            yield actor.execute(5e6 * (1 + i % 3))
+            try:
+                yield actor.engine.mailbox("sink").put(i, size=2e4)
+            except TransferFailureError:
+                continue
+
+    engine.add_actor("sink", "site-0-host-0", sink)
+    hosts = [f"site-{s}-host-{h}" for s in (1, 2) for h in range(4)]
+    for i, host in enumerate(hosts):
+        engine.add_actor(f"w{i}", host, worker, i,
+                         daemon=True, auto_restart=True)
+    # Churn the wan links (cross-zone routes) and two worker hosts: the
+    # failures tear components that straddle zone boundaries.
+    FailureInjector(engine, seed=11,
+                    hosts=["site-1-host-1", "site-2-host-2"],
+                    links=["wan-1", "wan-2"],
+                    mtbf=0.01, mean_downtime=0.02,
+                    max_failures=20).start()
+    log.append((engine.run(), "end"))
+    assert want[0] == 0
+    return log, engine
+
+
+def work_counters(engine):
+    solver = engine.kernel_stats()["solver"]
+    return {key: solver[key] for key in
+            ("constraints_solved", "variables_solved",
+             "elements_visited", "heap_pops")}
+
+
+class TestShardedEquivalence:
+    def test_exchange_dates_bit_identical(self):
+        flat_log, flat_engine = run_exchange_workload(sharded=False)
+        shard_log, shard_engine = run_exchange_workload(sharded=True)
+        assert shard_log == flat_log
+        stats = shard_engine.kernel_stats()
+        assert stats["shards"]["count"] == 4  # root + 3 sites
+        assert stats["shards"]["migrations"] > 0
+        # identical actual solver work, only spread across more models
+        assert work_counters(shard_engine) == work_counters(flat_engine)
+
+    def test_churn_crossing_zone_boundaries_bit_identical(self):
+        flat_log, _ = run_churn_workload(sharded=False)
+        shard_log, shard_engine = run_churn_workload(sharded=True)
+        assert shard_log == flat_log
+        assert shard_engine.kernel_stats()["shards"]["migrations"] > 0
+
+    def test_parallel_solves_on_sharded_engine_bit_identical(self):
+        flat_log, _ = run_exchange_workload(sharded=False)
+        engine = s4u.Engine(zoned_platform(), sharded=True)
+        # Force tiny thresholds so even this small run crosses the
+        # worker pool; production thresholds would keep it in-process.
+        engine.surf.enable_parallel_solves(workers=2, min_components=1,
+                                           min_work=1)
+        try:
+            shard_log, _ = run_exchange_workload(engine=engine)
+        finally:
+            engine.close()
+        assert shard_log == flat_log
+
+
+class TestLazyRealization:
+    def test_lazy_matches_eager_dates(self):
+        eager = zoned_platform()
+        eager.realize(eager=True)
+        eager_log, _ = run_exchange_workload(platform=eager)
+        lazy_log, _ = run_exchange_workload()  # lazy is the default
+        assert lazy_log == eager_log
+
+    def test_lazy_sharded_matches_eager_flat(self):
+        eager = zoned_platform()
+        eager.realize(eager=True)
+        eager_log, _ = run_exchange_workload(platform=eager)
+        shard_log, _ = run_exchange_workload(sharded=True)
+        assert shard_log == eager_log
+
+
+class TestShardStats:
+    def test_kernel_stats_shape(self):
+        _, engine = run_exchange_workload(sharded=True)
+        stats = engine.kernel_stats()
+        assert stats["shards"]["names"][0] == "<root>"
+        assert set(stats["shards"]["names"][1:]) == \
+            {"site-0", "site-1", "site-2"}
+        assert "window" in stats and "route_caches" in stats
+
+    def test_flat_engine_has_no_shard_block(self):
+        _, engine = run_exchange_workload(sharded=False)
+        assert "shards" not in engine.kernel_stats()
