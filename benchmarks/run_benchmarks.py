@@ -5,7 +5,7 @@ Unlike the pytest harnesses in this directory (which print paper-artefact
 tables and assert on simulated results), this runner is about the *perf
 trajectory* of the simulator itself across PRs.  It imports the scenario
 functions directly — no pytest, no plugins — times them, and writes a JSON
-report (``BENCH_PR7.json`` by default) with, per scenario and size:
+report (``BENCH_PR8.json`` by default) with, per scenario and size:
 
 * ``wall_clock_s`` — how long the simulation took for real;
 * ``events_per_s`` — simulated activity completions per wall-clock second,
@@ -206,6 +206,11 @@ def _fluid_flows(size):
     return {"simulated_time_s": simulated, "events": NUM_FLOWS}
 
 
+def _campaign_fanout(size):
+    from bench_campaign import run_campaign_fanout
+    return run_campaign_fanout(num_seeds=size)
+
+
 def _routing_scale(size):
     from bench_routing_scale import run_routing_scale
     return run_routing_scale(num_hosts=size)
@@ -240,6 +245,12 @@ SCENARIOS = {
     "maxmin_dense_bottleneck": (_maxmin_dense_bottleneck,
                                 (800, 3200, 12800), (200,)),
     "smpi_matmul": (_smpi_matmul, (2, 4, 8), (2,)),
+    # Campaign fan-out (PR 8): a seed × config grid (16 seeds × 2 configs
+    # at the smoke size) forked from one warmed ``engine.snapshot()`` blob
+    # vs cold per-run replays of the warm prefix — bit-identity enforced,
+    # fork must win wall-clock.  Workers from REPRO_CAMPAIGN_WORKERS /
+    # REPRO_PARALLEL, so CI smokes the serial and 2-worker pool modes.
+    "campaign_fanout": (_campaign_fanout, (16, 64), (16,)),
     "gantt_clientserver": (_gantt_clientserver, (None,), (None,)),
     "traces_failures": (_traces_failures, (None,), (None,)),
     "fluid_flows": (_fluid_flows, (None,), (None,)),
@@ -271,6 +282,7 @@ SMOKE_BUDGETS_S = {
     "maxmin_random_solve": 10.0,
     "maxmin_dense_bottleneck": 10.0,
     "smpi_matmul": 15.0,
+    "campaign_fanout": 30.0,
     "gantt_clientserver": 10.0,
     "traces_failures": 10.0,
     "fluid_flows": 15.0,
@@ -322,7 +334,7 @@ def main(argv=None):
                         help="with --smoke: fail when a scenario exceeds its "
                              "per-scenario wall-clock budget, naming the "
                              "offender (CI regression attribution)")
-    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR7.json"),
+    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR8.json"),
                         help="path of the JSON report (default: %(default)s)")
     args = parser.parse_args(argv)
 

@@ -1,0 +1,376 @@
+"""Multi-process campaign driver: seed × config grids over forked workers.
+
+One campaign = one ``run_fn`` applied to a list of :class:`ExperimentSpec`
+(seed, config) points.  :func:`run_campaign` executes the grid either
+
+* **cold** — ``run_fn(seed, config)`` builds its own engine per run, or
+* **forked** — every run starts from one warmed ``engine.snapshot()``
+  blob: the worker calls :meth:`Engine.restore` and hands the resumed
+  engine to ``run_fn(engine, seed, config)``, so the common prefix
+  (platform realization + warm-up phase) is paid once instead of once
+  per run.
+
+Process discipline mirrors the kernel's ``REPRO_PARALLEL`` executor
+(:mod:`repro.surf.shard`): ``fork``-context workers over pipes, static
+round-robin task assignment (deterministic — the result of a campaign is
+a pure function of ``run_fn`` and the grid, independent of ``workers``),
+and any worker death degrades that worker's share to serial execution in
+the parent instead of failing the campaign.  The snapshot blob and
+``run_fn`` travel to the workers by fork inheritance, never by pickle,
+so ``run_fn`` may be a closure and the blob is shared copy-on-write.
+
+Results are plain per-run metric dicts (numbers, or nested dicts of
+numbers — ``solver_stats()`` / ``kernel_stats()`` drop in directly);
+:func:`summarize` flattens them and reduces each metric across runs to
+``{min, median, p95, max, mean, n}``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+from repro.exceptions import SimGridError
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "ExperimentSpec",
+    "default_campaign_workers",
+    "grid",
+    "run_campaign",
+    "summarize",
+]
+
+
+class CampaignError(SimGridError):
+    """One or more experiments of a campaign raised; the campaign's result
+    would be incomplete, so the whole campaign fails with the collected
+    tracebacks instead of silently dropping runs."""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One point of a campaign grid.
+
+    ``config`` is an arbitrary mapping handed verbatim to ``run_fn``
+    (``None`` for config-less sweeps); ``label`` tags the run in reports,
+    defaulting to the config's own ``"label"`` key when present.
+    """
+
+    seed: int
+    config: Optional[Mapping[str, Any]] = None
+    label: str = ""
+
+
+def grid(seeds: Iterable[int],
+         configs: Optional[Sequence[Optional[Mapping[str, Any]]]] = None,
+         ) -> List[ExperimentSpec]:
+    """Cross ``seeds`` with ``configs`` into a flat list of specs.
+
+    The grid is ordered config-major (all seeds of config 0, then all
+    seeds of config 1, ...), and that order is the canonical run order of
+    the campaign: serial and parallel execution both report results in
+    grid order.
+    """
+    config_list: List[Optional[Mapping[str, Any]]] = (
+        list(configs) if configs is not None else [None])
+    if not config_list:
+        raise ValueError("configs must not be an empty sequence")
+    specs: List[ExperimentSpec] = []
+    for index, config in enumerate(config_list):
+        label = ""
+        if isinstance(config, Mapping) and "label" in config:
+            label = str(config["label"])
+        elif len(config_list) > 1:
+            label = f"cfg{index}"
+        for seed in seeds:
+            specs.append(ExperimentSpec(int(seed), config, label))
+    if not specs:
+        raise ValueError("the seed iterable produced no experiments")
+    return specs
+
+
+def default_campaign_workers() -> int:
+    """Worker count from ``REPRO_CAMPAIGN_WORKERS`` (0/unset-empty = serial).
+
+    Falls back to ``REPRO_PARALLEL`` so a CI matrix that already switches
+    the kernel executor exercises the campaign pool too, then to
+    ``cpu_count - 1`` for ``auto``.
+    """
+    raw = os.environ.get("REPRO_CAMPAIGN_WORKERS")
+    if raw is None:
+        raw = os.environ.get("REPRO_PARALLEL", "0")
+    raw = raw.strip().lower()
+    if raw == "auto":
+        return max(0, (os.cpu_count() or 1) - 1)
+    try:
+        workers = int(raw)
+    except ValueError:
+        return 0
+    return max(0, workers)
+
+
+# ------------------------------------------------------------------------------
+# aggregation
+# ------------------------------------------------------------------------------
+def _flatten(metrics: Mapping[str, Any], prefix: str,
+             out: Dict[str, float]) -> None:
+    for key in metrics:
+        value = metrics[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            _flatten(value, name + ".", out)
+        elif isinstance(value, bool):
+            out[name] = float(value)
+        elif isinstance(value, (int, float)):
+            out[name] = float(value)
+        # non-numeric leaves (labels, lists...) are identity, not metrics
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile (no interpolation) of an ascending list."""
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def summarize(metric_dicts: Sequence[Mapping[str, Any]]
+              ) -> Dict[str, Dict[str, float]]:
+    """Reduce per-run metric dicts to per-metric distribution summaries.
+
+    Nested dicts flatten with dotted keys (``kernel.updates``); each
+    metric present in at least one run maps to ``{min, median, p95, max,
+    mean, n}`` where ``n`` counts the runs reporting it.
+    """
+    series: Dict[str, List[float]] = {}
+    for metrics in metric_dicts:
+        flat: Dict[str, float] = {}
+        _flatten(metrics, "", flat)
+        for name, value in flat.items():
+            series.setdefault(name, []).append(value)
+    summary: Dict[str, Dict[str, float]] = {}
+    for name in sorted(series):
+        values = sorted(series[name])
+        summary[name] = {
+            "min": values[0],
+            "median": _percentile(values, 0.5),
+            "p95": _percentile(values, 0.95),
+            "max": values[-1],
+            "mean": sum(values) / len(values),
+            "n": len(values),
+        }
+    return summary
+
+
+# ------------------------------------------------------------------------------
+# execution
+# ------------------------------------------------------------------------------
+def _execute_one(run_fn: Callable[..., Mapping[str, Any]],
+                 spec: ExperimentSpec,
+                 snapshot: Optional[bytes]) -> Mapping[str, Any]:
+    if snapshot is None:
+        metrics = run_fn(spec.seed, spec.config)
+    else:
+        from repro.s4u.engine import Engine
+        engine = Engine.restore(snapshot)
+        try:
+            metrics = run_fn(engine, spec.seed, spec.config)
+        finally:
+            engine.close()
+    if not isinstance(metrics, Mapping):
+        raise TypeError(
+            f"run_fn must return a metrics mapping, got "
+            f"{type(metrics).__name__} for seed={spec.seed}")
+    return metrics
+
+
+def _worker_main(conn, run_fn, tasks: List[Tuple[int, ExperimentSpec]],
+                 snapshot: Optional[bytes]) -> None:
+    """Worker body: execute an assigned share, stream (index, status, payload).
+
+    Every task answers exactly once — errors travel as formatted
+    tracebacks rather than killing the worker, so one failed experiment
+    does not discard its siblings' results.
+    """
+    try:
+        for index, spec in tasks:
+            try:
+                payload: Any = dict(_execute_one(run_fn, spec, snapshot))
+                reply = (index, "ok", payload)
+            except BaseException:
+                reply = (index, "error", traceback.format_exc())
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):  # parent gone; stop quietly
+                return
+            except Exception:
+                conn.send((index, "error",
+                           f"seed={spec.seed}: result not picklable:\n"
+                           + traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _run_parallel(run_fn, specs: List[ExperimentSpec],
+                  snapshot: Optional[bytes], workers: int,
+                  results: List[Optional[Mapping[str, Any]]],
+                  errors: Dict[int, str]) -> int:
+    """Fan the grid over fork workers; returns the worker-death count.
+
+    Tasks are assigned round-robin *before* starting (static, so the
+    assignment is deterministic); a worker that dies mid-share simply
+    leaves its unanswered tasks as ``None`` for the caller's serial
+    sweep.
+    """
+    ctx = multiprocessing.get_context("fork")
+    shares: List[List[Tuple[int, ExperimentSpec]]] = [
+        [] for _ in range(workers)]
+    for index, spec in enumerate(specs):
+        shares[index % workers].append((index, spec))
+    procs = []
+    for share in shares:
+        if not share:
+            continue
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_worker_main,
+                           args=(child_conn, run_fn, share, snapshot),
+                           daemon=True)
+        proc.start()
+        child_conn.close()
+        procs.append((parent_conn, proc, share))
+    deaths = 0
+    for parent_conn, proc, share in procs:
+        answered = 0
+        try:
+            while answered < len(share):
+                index, status, payload = parent_conn.recv()
+                answered += 1
+                if status == "ok":
+                    results[index] = payload
+                else:
+                    errors[index] = payload
+        except (EOFError, OSError):
+            deaths += 1  # leftover tasks rerun serially in the parent
+        finally:
+            parent_conn.close()
+        proc.join(timeout=30.0)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+            proc.join()
+    return deaths
+
+
+def run_campaign(run_fn: Callable[..., Mapping[str, Any]],
+                 experiments: Iterable[Union[int, ExperimentSpec]], *,
+                 workers: Optional[int] = None,
+                 snapshot: Optional[bytes] = None) -> "CampaignResult":
+    """Run every experiment, in-process or over forked workers.
+
+    Parameters
+    ----------
+    run_fn:
+        ``run_fn(seed, config) -> metrics`` without a snapshot, or
+        ``run_fn(engine, seed, config) -> metrics`` with one — the engine
+        is freshly restored from the blob for each run and closed after.
+        Must be deterministic in its arguments: the campaign result is
+        then independent of ``workers``.
+    experiments:
+        :class:`ExperimentSpec` items (see :func:`grid`); bare ints are
+        promoted to config-less specs.
+    workers:
+        Worker process count; ``None`` reads
+        :func:`default_campaign_workers`, ``0`` runs serially in-process.
+        Forking requires the POSIX ``fork`` start method; where that is
+        unavailable the campaign silently runs serially.
+    snapshot:
+        Warmed-engine blob from :meth:`Engine.snapshot`; enables the
+        fork-per-run mode described above.
+
+    Raises :class:`CampaignError` if any experiment raised (after all
+    others finished), so a result always covers the full grid.
+    """
+    specs: List[ExperimentSpec] = [
+        spec if isinstance(spec, ExperimentSpec) else ExperimentSpec(int(spec))
+        for spec in experiments]
+    if not specs:
+        raise ValueError("run_campaign needs at least one experiment")
+    if workers is None:
+        workers = default_campaign_workers()
+    workers = min(int(workers), len(specs))
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        workers = 0
+
+    results: List[Optional[Mapping[str, Any]]] = [None] * len(specs)
+    errors: Dict[int, str] = {}
+    fallbacks = 0
+    if workers >= 1:
+        fallbacks = _run_parallel(
+            run_fn, specs, snapshot, workers, results, errors)
+    for index, spec in enumerate(specs):  # serial mode + death leftovers
+        if results[index] is None and index not in errors:
+            try:
+                results[index] = dict(_execute_one(run_fn, spec, snapshot))
+            except Exception:
+                errors[index] = traceback.format_exc()
+    if errors:
+        first = min(errors)
+        raise CampaignError(
+            f"{len(errors)}/{len(specs)} experiments failed; first failure "
+            f"(seed={specs[first].seed}, label={specs[first].label!r}):\n"
+            f"{errors[first]}")
+    runs = [
+        {"seed": spec.seed, "label": spec.label, "metrics": results[index]}
+        for index, spec in enumerate(specs)]
+    return CampaignResult(specs=specs, runs=runs, workers=workers,
+                          forked=snapshot is not None, fallbacks=fallbacks)
+
+
+@dataclass
+class CampaignResult:
+    """The outcome of one :func:`run_campaign` call, in grid order."""
+
+    specs: List[ExperimentSpec]
+    runs: List[Dict[str, Any]]
+    workers: int
+    forked: bool
+    fallbacks: int = 0
+
+    def metrics(self) -> List[Mapping[str, Any]]:
+        """The raw per-run metric dicts, in grid order."""
+        return [run["metrics"] for run in self.runs]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-metric distribution summaries (see :func:`summarize`)."""
+        return summarize(self.metrics())
+
+    def to_report(self, scenario: str = "campaign") -> Dict[str, Any]:
+        """BENCH-style JSON document: identity, summaries, per-run rows."""
+        return {
+            "schema": "repro-campaign/1",
+            "scenario": scenario,
+            "runs": len(self.runs),
+            "workers": self.workers,
+            "forked": self.forked,
+            "fallbacks": self.fallbacks,
+            "metrics": self.summary(),
+            "per_run": self.runs,
+        }
+
+    def write_json(self, path: str, scenario: str = "campaign") -> None:
+        """Write :meth:`to_report` to ``path`` (pretty-printed, trailing \\n)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_report(scenario), handle, indent=2,
+                      sort_keys=False)
+            handle.write("\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CampaignResult(runs={len(self.runs)}, workers={self.workers},"
+                f" forked={self.forked}, fallbacks={self.fallbacks})")

@@ -64,6 +64,16 @@ class DeadlockError(SimGridError):
     """Every remaining process is blocked and no activity can make progress."""
 
 
+class SnapshotError(SimGridError):
+    """An engine snapshot was requested at a non-quiescent point.
+
+    ``Engine.snapshot()`` serializes the whole simulation state, but actor
+    bodies are live generator frames that cannot be pickled: a snapshot is
+    only possible while no actor is alive (e.g. right after :meth:`run`
+    completed).  Pending timers, traces and kernel state all travel.
+    """
+
+
 class NetworkError(SimGridError):
     """A GRAS real-life communication error (socket failure, peer gone)."""
 

@@ -93,6 +93,21 @@ class TimerQueue:
             fired += 1
         return fired
 
+    def compact(self) -> int:
+        """Drop every cancelled/fired entry from the heap; return the count.
+
+        Lazy deletion leaves dead entries (e.g. the timeout timer of a wait
+        that completed first) in the heap until their date passes.  Their
+        callbacks often close over actor state that cannot be pickled, so
+        the snapshot path compacts the queue first — removing a dead entry
+        never changes what fires.  Surviving entries keep their original
+        ``(date, seq)`` keys, so tie-breaks are unchanged.
+        """
+        before = len(self._heap)
+        self._heap = [entry for entry in self._heap if entry[2].pending]
+        heapq.heapify(self._heap)
+        return before - len(self._heap)
+
     def __len__(self) -> int:
         return sum(1 for _, _, t in self._heap if t.pending)
 

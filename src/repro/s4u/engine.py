@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import gc
 import math
+import pickle
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple, Type, Union
 
@@ -30,6 +31,7 @@ from repro.exceptions import (
     HostFailureError,
     PlatformError,
     SimTimeoutError,
+    SnapshotError,
     TransferFailureError,
 )
 from repro.kernel.context import FINISHED, make_context_factory
@@ -130,7 +132,12 @@ class Engine:
         # and deadlock handling iterate it instead of scanning the full
         # historical ``actors`` list, and ``actor_count`` is O(1).
         self._alive_actors: Dict[Actor, None] = {}
-        self._active_comms: set = set()
+        # Started comms, as an insertion-ordered set (a dict): host
+        # failures iterate it to fail the crossing transfers, so its
+        # order must survive a snapshot/restore round-trip — a plain set
+        # would iterate in id()-hash order, which no restored process
+        # reproduces.
+        self._active_comms: Dict[Comm, None] = {}
         self._deadlocked = False
         # Failure-model bookkeeping: observers of resource state flips and
         # the actors awaiting an auto-restart of their failed host.
@@ -141,7 +148,10 @@ class Engine:
         self.restart_count = 0
         # Simcall dispatch by concrete type: the kernel handles one call
         # per actor resume, so this lookup sits on the hottest path.
-        self._simcall_handlers = {
+        self._simcall_handlers = self._build_simcall_handlers()
+
+    def _build_simcall_handlers(self) -> Dict[type, Callable]:
+        return {
             ExecuteCall: self._do_execute,
             ExecAsyncCall: self._do_exec_async,
             SleepCall: self._do_sleep,
@@ -194,6 +204,84 @@ class Engine:
         Idempotent; safe to call on a never-parallel engine.
         """
         self.surf.close()
+
+    # ------------------------------------------------------------------------------
+    # snapshot / fork
+    # ------------------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Serialize the whole simulation state into an opaque blob.
+
+        The kernel state is pure Python, so the realized platform, the
+        SURF models (clocks, LMM systems, completion heaps, pending trace
+        events), the armed timers (e.g. a mid-churn
+        :class:`~repro.s4u.failure.FailureInjector`, RNG state included)
+        and the auto-restart bookkeeping all pickle directly.
+        :meth:`restore` resumes from the blob with bit-identical future
+        dates — in this process or another one.
+
+        The one thing that cannot travel is a live actor body (a Python
+        generator frame), so a snapshot requires a *quiescent* engine: no
+        actor alive, nothing in the ready queue — i.e. right after
+        :meth:`run` completed a phase.  The idiom is to run a warmed
+        prefix to completion, snapshot, then add the per-experiment actors
+        after :meth:`restore` (see :mod:`repro.campaign`).  Raises
+        :class:`~repro.exceptions.SnapshotError` otherwise.
+
+        OS-level handles (the parallel-solve worker pool and its shared
+        memory) are detached by their own ``__getstate__`` hooks and
+        re-created lazily after restore; functions referenced by the
+        surviving state (auto-restart actor bodies, pending payloads,
+        state listeners) must be module-level so pickle can name them.
+        """
+        if self._alive_actors or self._ready:
+            alive = ", ".join(a.name for a in self._alive_actors)
+            raise SnapshotError(
+                f"snapshot needs a quiescent engine (actor bodies are live "
+                f"generator frames and cannot be pickled); still alive: "
+                f"[{alive}] at t={self.now:g} — run() the current phase to "
+                f"completion first")
+        # Lazily-deleted timer entries (cancelled timeouts of completed
+        # waits) can hold closures over dead actors; they never fire, so
+        # drop them rather than pickle them.
+        self.timers.compact()
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "Engine":
+        """Rebuild an engine from a :meth:`snapshot` blob.
+
+        The restored engine continues exactly where the snapshot was
+        taken: same clock, same pending timers/traces/restarts, same
+        solver and RNG state — future simulated dates and event order are
+        bit-identical to the engine that produced the blob.  Each call
+        returns an independent copy, so one warmed blob can fork any
+        number of experiment runs.
+        """
+        engine = pickle.loads(blob)
+        if not isinstance(engine, Engine):
+            raise SnapshotError(
+                f"blob does not hold an s4u.Engine (got {type(engine).__name__})")
+        return engine
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Rebuilt on load: bound-method dispatch table and the two
+        # id()-keyed resource maps (object ids change across the trip).
+        state.pop("_simcall_handlers", None)
+        state.pop("_host_by_cpu", None)
+        state.pop("_link_by_resource", None)
+        # The historical actor list may reference finished bodies defined
+        # as closures (unpicklable by reference); only alive actors — none,
+        # under the snapshot() quiescence rule — are simulation state.
+        state["actors"] = [a for a in self.actors if a.is_alive]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._host_by_cpu = {id(h.cpu): h for h in self.hosts.values()}
+        self._link_by_resource = {
+            id(link.resource): link for link in self.links.values()}
+        self._simcall_handlers = self._build_simcall_handlers()
 
     def _materialize_host(self, name: str) -> Host:
         host = Host(self, self.platform.hosts[name],
@@ -732,7 +820,7 @@ class Engine:
             # never surface through a step result — report it here.
             self._finish_activity(comm, ActivityState.FAILED)
             return
-        self._active_comms.add(comm)
+        self._active_comms[comm] = None
 
     # -- deferred (``*_init``) activities ---------------------------------------------------
     def _do_start(self, actor: Actor, call: StartCall) -> None:
@@ -893,7 +981,7 @@ class Engine:
                     if (activity.surf_action is not None
                             and activity.surf_action.is_running()):
                         activity.surf_action.cancel(self.now)
-                    self._active_comms.discard(activity)
+                    self._active_comms.pop(activity, None)
                     activity.state = ActivityState.TIMEOUT
                     activity.finish_time = self.now
                     for peer in list(activity.waiters):
@@ -985,7 +1073,7 @@ class Engine:
         activity.state = state
         activity.finish_time = self.now
         if isinstance(activity, Comm):
-            self._active_comms.discard(activity)
+            self._active_comms.pop(activity, None)
         self._record_activity(activity)
         # Break the activity <-> action reference cycle: once finished,
         # the pair would otherwise only ever be reclaimed by a gc cycle
@@ -1155,6 +1243,10 @@ class Engine:
             actor.host.actors.remove(actor)
         except ValueError:
             pass
+        # Break the actor <-> context backlink: the finished frame (a dead
+        # generator or thread) is unreachable garbage now, and it could
+        # never travel through a snapshot anyway.
+        actor.context = None
         if not actor.daemon:
             self._alive_nondaemon -= 1
         for joiner in actor._joiners:

@@ -44,6 +44,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["FailureInjector"]
 
 
+class _Pulse:
+    """A scheduled on/off flip of one target, as a picklable callable.
+
+    Timer callbacks must survive ``engine.snapshot()`` (pickle) and
+    ``copy.deepcopy``; a lambda would either fail to pickle or — worse —
+    be shared by ``deepcopy``, so the copied engine's pulses would flip
+    the *original* injector's targets.  A plain object holding the
+    injector and the victim follows both protocols correctly.
+    """
+
+    __slots__ = ("injector", "target", "is_on")
+
+    def __init__(self, injector: "FailureInjector",
+                 target: Union["Host", "Link"], is_on: bool) -> None:
+        self.injector = injector
+        self.target = target
+        self.is_on = is_on
+
+    def __call__(self) -> None:
+        if self.is_on:
+            self.injector._apply_on(self.target)
+        else:
+            self.injector._apply_off(self.target)
+
+
 class FailureInjector:
     """Drives random host/link off/on pulses over a running engine.
 
@@ -68,6 +93,12 @@ class FailureInjector:
         Stop bounds: no new failure is injected past ``max_failures`` or
         after date ``until``.  At least one must be given, otherwise the
         pulse chain would keep the engine's timer queue busy forever.
+
+    The injector snapshots with its engine: the seeded ``random.Random``
+    pickles with its full Mersenne state and the armed timers hold plain
+    bound methods / :class:`_Pulse` objects, so churn resumed from an
+    ``engine.snapshot()`` blob replays the exact pulse schedule a
+    never-snapshotted run would produce.
     """
 
     def __init__(self, engine: "Engine", seed: int = 0,
@@ -135,7 +166,7 @@ class FailureInjector:
             self._apply_off(victim)
             restore_date = now + self._rng.expovariate(1.0 / self.mean_downtime)
             self.engine.timers.schedule(
-                restore_date, lambda: self._apply_on(victim))
+                restore_date, _Pulse(self, victim, is_on=True))
         self._arm_next_failure(now)
 
     def _apply_off(self, target: Union["Host", "Link"]) -> None:
@@ -190,9 +221,8 @@ class FailureInjector:
             date, value = event
             if limit is not None and date > limit:
                 break
-            apply = self._apply_on if value > 0 else self._apply_off
             self.engine.timers.schedule(
-                base + date, lambda a=apply: a(target))
+                base + date, _Pulse(self, target, is_on=value > 0))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -328,6 +328,33 @@ class ParallelSolveExecutor:
     def closed(self) -> bool:
         return self._closed
 
+    # -- snapshot support --------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Detach the OS-level state: only configuration + counters travel.
+
+        The forked worker processes, their pipes, the shared-memory
+        segment and the ``weakref.finalize`` guard are all bound to this
+        process and cannot be pickled (nor deep-copied).  A restored (or
+        deep-copied) executor starts cold and re-forks its pool lazily on
+        the first accepted batch, exactly like a freshly built one.
+        """
+        return {
+            "workers": self.workers,
+            "min_components": self.min_components,
+            "min_work": self.min_work,
+            "_closed": self._closed,
+            "batches": self.batches,
+            "components_parallel": self.components_parallel,
+            "fallbacks": self.fallbacks,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._state = {"procs": [], "shm": None}
+        self._started = False
+        self._finalizer = weakref.finalize(self, _release, self._state)
+        atexit.register(self._finalizer)
+
     # -- batch gate --------------------------------------------------------------
     def accepts(self, components) -> bool:
         """True when a batch is worth shipping to the workers."""
@@ -565,6 +592,24 @@ class ShardedSurfEngine(SurfEngine):
         #: Count of gateway handoffs (constraint closures migrated into
         #: the root shard by cross-zone communications).
         self.migrations = 0
+
+    # -- snapshot support --------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop the ``id()``-keyed system→model map; it rebuilds on load.
+
+        Object identities change across a pickle (or deepcopy) round-trip,
+        so a map keyed by ``id(system)`` would silently miss every lookup
+        in the restored engine — resources would fall back to the root
+        models and shard routing would break.
+        """
+        state = self.__dict__.copy()
+        state.pop("_system_model", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._system_model = {
+            id(model.system): model for model in self.models}
 
     # -- shard resolution --------------------------------------------------------
     @staticmethod

@@ -1,0 +1,253 @@
+"""Campaign driver: grids, aggregation, pool discipline, snapshot fanout.
+
+The runner's contract mirrors the kernel executor's: the result of a
+campaign is a pure function of ``run_fn`` and the grid — bit-identical
+whether it ran serially, over N forked workers, or degraded to serial
+because a worker died mid-share.  With a snapshot attached, forked runs
+must match a cold per-seed loop exactly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import s4u
+from repro.campaign import (
+    CampaignError,
+    ExperimentSpec,
+    default_campaign_workers,
+    grid,
+    run_campaign,
+    summarize,
+)
+from repro.platform import make_star
+from repro.s4u import FailureInjector
+
+
+# ---------------------------------------------------------------------------
+# grid + aggregation (pure functions)
+# ---------------------------------------------------------------------------
+
+class TestGrid:
+    def test_config_major_order_and_labels(self):
+        specs = grid([1, 2], [{"label": "a", "x": 1}, {"x": 2}])
+        assert [(s.seed, s.label) for s in specs] == [
+            (1, "a"), (2, "a"), (1, "cfg1"), (2, "cfg1")]
+        assert specs[0].config == {"label": "a", "x": 1}
+
+    def test_single_unlabelled_config_gets_empty_label(self):
+        specs = grid([7], [{"x": 1}])
+        assert specs[0].label == ""
+
+    def test_no_configs_means_config_none(self):
+        specs = grid(range(3))
+        assert len(specs) == 3
+        assert all(s.config is None for s in specs)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            grid([])
+        with pytest.raises(ValueError):
+            grid([1], [])
+
+
+class TestSummarize:
+    def test_distribution_fields(self):
+        runs = [{"t": float(v)} for v in [5, 1, 3, 2, 4]]
+        summary = summarize(runs)["t"]
+        assert summary == {"min": 1.0, "median": 3.0, "p95": 5.0,
+                           "max": 5.0, "mean": 3.0, "n": 5}
+
+    def test_nested_dicts_flatten_with_dots(self):
+        summary = summarize([{"kernel": {"solver": {"pops": 4}}, "t": 1.0}])
+        assert summary["kernel.solver.pops"]["max"] == 4.0
+        assert summary["t"]["n"] == 1
+
+    def test_non_numeric_leaves_ignored(self):
+        summary = summarize([{"t": 1.0, "name": "run-a", "tags": [1, 2]}])
+        assert set(summary) == {"t"}
+
+    def test_metric_missing_from_some_runs_counts_n(self):
+        summary = summarize([{"t": 1.0, "extra": 9.0}, {"t": 3.0}])
+        assert summary["t"]["n"] == 2
+        assert summary["extra"]["n"] == 1
+
+
+class TestWorkerDefaults:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "3")
+        assert default_campaign_workers() == 3
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "0")
+        assert default_campaign_workers() == 0
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "auto")
+        assert default_campaign_workers() == max(0, (os.cpu_count() or 1) - 1)
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "nonsense")
+        assert default_campaign_workers() == 0
+
+    def test_falls_back_to_repro_parallel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CAMPAIGN_WORKERS", raising=False)
+        monkeypatch.setenv("REPRO_PARALLEL", "2")
+        assert default_campaign_workers() == 2
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert default_campaign_workers() == 0
+
+
+# ---------------------------------------------------------------------------
+# execution: serial ≡ parallel ≡ fallback
+# ---------------------------------------------------------------------------
+
+def _simulate(seed, config):
+    """A tiny but real simulation: dates depend on seed via churn."""
+    rounds = (config or {}).get("rounds", 2)
+    engine = s4u.Engine(make_star(num_hosts=3, host_speed=1e9,
+                                  link_bandwidth=1e7, link_latency=1e-4))
+
+    def worker(actor, index):
+        for _ in range(rounds):
+            yield actor.execute(4e6 * (index + 1))
+
+    for index in range(3):
+        engine.add_actor(f"w{index}", f"leaf-{index}", worker, index)
+    injector = FailureInjector(engine, seed=seed,
+                               hosts=["leaf-1", "leaf-2"],
+                               mtbf=0.005, mean_downtime=0.01,
+                               max_failures=3).start()
+    final = engine.run()
+    return {"simulated_time_s": final, "failures": injector.failures}
+
+
+class TestRunCampaign:
+    def test_serial_runs_whole_grid_in_order(self):
+        specs = grid(range(4), [{"rounds": 2}, {"label": "long", "rounds": 3}])
+        result = run_campaign(_simulate, specs, workers=0)
+        assert len(result.runs) == 8
+        assert [r["seed"] for r in result.runs] == [0, 1, 2, 3] * 2
+        assert [r["label"] for r in result.runs][:4] == ["cfg0"] * 4
+        assert all(r["metrics"]["simulated_time_s"] > 0 for r in result.runs)
+
+    def test_bare_int_experiments_promote_to_specs(self):
+        result = run_campaign(_simulate, [1, 2], workers=0)
+        assert result.specs == [ExperimentSpec(1), ExperimentSpec(2)]
+
+    def test_parallel_equals_serial_bit_identically(self):
+        specs = grid(range(6))
+        serial = run_campaign(_simulate, specs, workers=0)
+        parallel = run_campaign(_simulate, specs, workers=3)
+        assert parallel.metrics() == serial.metrics()
+        assert parallel.summary() == serial.summary()
+        assert parallel.workers == 3 and serial.workers == 0
+
+    def test_worker_death_degrades_to_serial(self):
+        parent_pid = os.getpid()
+
+        def fragile(seed, config):
+            if seed == 2 and os.getpid() != parent_pid:
+                os._exit(1)  # kill the worker mid-share, no reply sent
+            return {"value": seed * 2.0}
+
+        result = run_campaign(fragile, grid(range(6)), workers=2)
+        assert result.fallbacks == 1
+        assert [r["metrics"]["value"] for r in result.runs] == [
+            0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_experiment_error_fails_the_campaign(self):
+        def boom(seed, config):
+            if seed == 3:
+                raise RuntimeError("exploded on purpose")
+            return {"value": float(seed)}
+
+        for workers in (0, 2):
+            with pytest.raises(CampaignError, match="seed=3") as excinfo:
+                run_campaign(boom, grid(range(5)), workers=workers)
+            assert "exploded on purpose" in str(excinfo.value)
+
+    def test_run_fn_must_return_a_mapping(self):
+        with pytest.raises(CampaignError, match="metrics mapping"):
+            run_campaign(lambda seed, config: 42.0, [1], workers=0)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(_simulate, [], workers=0)
+
+
+# ---------------------------------------------------------------------------
+# snapshot fanout
+# ---------------------------------------------------------------------------
+
+def _warm_blob():
+    engine = s4u.Engine(make_star(num_hosts=3, host_speed=1e9,
+                                  link_bandwidth=1e7, link_latency=1e-4))
+
+    def warm(actor, index):
+        yield actor.execute(1e7)
+
+    for index in range(3):
+        engine.add_actor(f"warm{index}", f"leaf-{index}", warm, index)
+    engine.run()
+    blob = engine.snapshot()
+    engine.close()
+    return blob, engine.now
+
+
+def _measured_phase(engine, seed, config):
+    rounds = (config or {}).get("rounds", 2)
+
+    def worker(actor, index):
+        for _ in range(rounds):
+            yield actor.execute(4e6 * (index + 1))
+
+    for index in range(3):
+        engine.add_actor(f"w{index}", f"leaf-{index}", worker, index)
+    injector = FailureInjector(engine, seed=seed,
+                               hosts=["leaf-1", "leaf-2"],
+                               mtbf=0.005, mean_downtime=0.01,
+                               max_failures=3).start()
+    final = engine.run()
+    return {"simulated_time_s": final, "failures": injector.failures}
+
+
+class TestSnapshotFanout:
+    def test_forked_campaign_equals_cold_loop(self):
+        blob, warm_date = _warm_blob()
+        specs = grid(range(5), [{"rounds": 2}, {"label": "x", "rounds": 3}])
+        forked = run_campaign(_measured_phase, specs, workers=2,
+                              snapshot=blob)
+        assert forked.forked
+
+        cold = []
+        for spec in specs:
+            engine = s4u.Engine.restore(blob)
+            cold.append(_measured_phase(engine, spec.seed, spec.config))
+            engine.close()
+        assert forked.metrics() == cold
+        assert all(m["simulated_time_s"] > warm_date for m in cold)
+
+    def test_forked_serial_equals_forked_parallel(self):
+        blob, _ = _warm_blob()
+        specs = grid(range(4))
+        serial = run_campaign(_measured_phase, specs, workers=0,
+                              snapshot=blob)
+        parallel = run_campaign(_measured_phase, specs, workers=2,
+                                snapshot=blob)
+        assert serial.metrics() == parallel.metrics()
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+class TestReport:
+    def test_report_shape_and_json_roundtrip(self, tmp_path):
+        result = run_campaign(_simulate, grid(range(3)), workers=0)
+        report = result.to_report("unit-test")
+        assert report["schema"] == "repro-campaign/1"
+        assert report["scenario"] == "unit-test"
+        assert report["runs"] == 3 and not report["forked"]
+        stats = report["metrics"]["simulated_time_s"]
+        assert set(stats) == {"min", "median", "p95", "max", "mean", "n"}
+        assert stats["min"] <= stats["median"] <= stats["p95"] <= stats["max"]
+
+        path = tmp_path / "campaign.json"
+        result.write_json(str(path), "unit-test")
+        assert json.loads(path.read_text()) == report

@@ -19,10 +19,13 @@ pulses turning precise resources off/on at precise dates) and seeded
 on every run.
 """
 
+import os
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import s4u
+from repro.campaign import grid, run_campaign
 from repro.exceptions import (
     HostFailureError,
     SimTimeoutError,
@@ -159,15 +162,49 @@ def test_explicit_schedules_live_and_replay(schedule):
     assert log == replay_log
 
 
+def _fuzz_seed_run(seed, config):
+    """One seeded churn experiment: live run + replay + invariant checks.
+
+    This is the loop body of the seed sweep, shaped as a campaign
+    ``run_fn`` so the same code runs serially (the CI default) or fanned
+    out over worker processes by :func:`repro.campaign.run_campaign`.
+    The invariants assert *inside* the run — a violation in a worker
+    fails the campaign with the seed in the traceback.
+    """
+    log, activities = _run_workload(injector_seed=seed)
+    _check_invariants(log, activities)
+    replay_log, replay_activities = _run_workload(injector_seed=seed)
+    _check_invariants(replay_log, replay_activities)
+    assert log == replay_log, f"seed {seed} did not replay identically"
+    pulses = next(entry[3] for entry in log if entry[0] == "pulses")
+    final = next(entry[3] for entry in log if entry[0] == "final")
+    return {"simulated_time_s": final, "pulses": len(pulses),
+            "log_events": len(log)}
+
+
 @pytest.mark.parametrize("seed_base", [0, 50, 100])
 def test_injector_seeds_live_and_replay(seed_base):
-    """150 seeded churn schedules (50 per chunk): same seed, same dates."""
-    for seed in range(seed_base, seed_base + 50):
-        log, activities = _run_workload(injector_seed=seed)
-        _check_invariants(log, activities)
-        replay_log, replay_activities = _run_workload(injector_seed=seed)
-        _check_invariants(replay_log, replay_activities)
-        assert log == replay_log, f"seed {seed} did not replay identically"
+    """150 seeded churn schedules (50 per chunk): same seed, same dates.
+
+    ``REPRO_CAMPAIGN_FUZZ=1`` routes each 50-seed sweep through the
+    campaign driver (worker count from ``REPRO_CAMPAIGN_WORKERS`` /
+    ``REPRO_PARALLEL``); by default the sweep runs the exact same
+    experiments serially in-process.
+    """
+    seeds = range(seed_base, seed_base + 50)
+    if os.environ.get("REPRO_CAMPAIGN_FUZZ", "") == "1":
+        result = run_campaign(_fuzz_seed_run, grid(seeds))
+        assert result.summary()["simulated_time_s"]["n"] == 50
+    else:
+        for seed in seeds:
+            _fuzz_seed_run(seed, None)
+
+
+def test_campaign_fuzz_path_smoke():
+    """The campaign route of the sweep stays exercised in default CI."""
+    result = run_campaign(_fuzz_seed_run, grid(range(3)), workers=2)
+    assert result.summary()["simulated_time_s"]["n"] == 3
+    assert all(run["metrics"]["log_events"] > 0 for run in result.runs)
 
 
 def test_different_seeds_differ():

@@ -1,0 +1,395 @@
+"""Engine snapshot/fork: a restored blob replays bit-identically.
+
+The PR-8 contract extends the kernel's determinism guarantee across
+serialization: ``engine.snapshot()`` at a quiescent point, then
+``Engine.restore(blob)`` — in this process or another one — must produce
+exactly the simulated dates and event order of the engine that never got
+snapshotted.  That must hold for the flat kernel, the sharded kernel,
+with parallel solves attached, and through mid-churn FailureInjector
+state (pending pulse timers + Mersenne RNG position).
+
+Below that, the SURF layer itself must survive ``copy.deepcopy`` and
+``pickle`` mid-run (actions in flight), and a snapshot/restore cycle of
+a parallel engine must leave no ``/dev/shm`` segment behind.
+"""
+
+import copy
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro import s4u
+from repro.exceptions import (
+    HostFailureError,
+    SimTimeoutError,
+    SnapshotError,
+    TransferFailureError,
+)
+from repro.kernel.timer import TimerQueue
+from repro.platform import make_star, make_zoned_grid
+from repro.s4u import FailureInjector
+from repro.surf.engine import SurfEngine
+from repro.surf.shard import ParallelSolveExecutor
+
+
+NUM_LEAVES = 3
+
+
+def _make_engine(sharded=False, parallel_solves=False):
+    if sharded:
+        platform = make_zoned_grid(num_sites=3, hosts_per_site=2)
+    else:
+        platform = make_star(num_hosts=NUM_LEAVES, host_speed=1e9,
+                             link_bandwidth=1e7, link_latency=1e-4)
+    return s4u.Engine(platform, sharded=sharded,
+                      parallel_solves=parallel_solves)
+
+
+def _worker_hosts(engine):
+    """The churnable leaf hosts (everything but the first, the sink's)."""
+    names = sorted(engine.platform.hosts)
+    return names[0], names[1:1 + NUM_LEAVES]
+
+
+def _run_warm_phase(engine):
+    """Phase 1: a small master/worker exchange, run to completion."""
+    center, leaves = _worker_hosts(engine)
+
+    def worker(actor, index):
+        yield actor.execute(1e7 * (index + 1))
+        comm = yield engine.mailbox("warm").put_async(index, size=1e4)
+        yield comm.wait()
+
+    def sink(actor):
+        for _ in leaves:
+            yield engine.mailbox("warm").get()
+
+    engine.add_actor("warm-sink", center, sink)
+    for index, host in enumerate(leaves):
+        engine.add_actor(f"warm-{index}", host, worker, index)
+    return engine.run()
+
+
+def _run_measured_phase(engine, seed=None):
+    """Phase 2: three rounds per worker, optional seeded churn; returns
+    ``(final_date, chronological_log, injector_events)``."""
+    center, leaves = _worker_hosts(engine)
+    log = []
+
+    def worker(actor, index):
+        for round_no in range(3):
+            comp = yield actor.exec_async(5e6 * (index + 1))
+            try:
+                yield comp.wait()
+            except HostFailureError:
+                log.append((engine.now, "exec-failed", index, round_no))
+                continue
+            comm = yield engine.mailbox("sink").put_async(
+                (index, round_no), size=2e4)
+            try:
+                yield comm.wait(timeout=0.05)
+                log.append((engine.now, "sent", index, round_no))
+            except (SimTimeoutError, TransferFailureError):
+                log.append((engine.now, "send-lost", index, round_no))
+
+    def sink(actor):
+        for attempt in range(6 * len(leaves)):
+            try:
+                got = yield engine.mailbox("sink").get(timeout=0.05)
+                log.append((engine.now, "got", got))
+            except (SimTimeoutError, TransferFailureError):
+                log.append((engine.now, "miss", attempt))
+
+    engine.add_actor("sink", center, sink)
+    for index, host in enumerate(leaves):
+        engine.add_actor(f"w{index}", host, worker, index)
+    injector = None
+    if seed is not None:
+        injector = FailureInjector(engine, seed=seed, hosts=leaves,
+                                   mtbf=0.01, mean_downtime=0.02,
+                                   max_failures=5).start()
+    final = engine.run()
+    return final, log, injector.events if injector else []
+
+
+def _cold_run(sharded=False, parallel_solves=False, seed=None):
+    engine = _make_engine(sharded, parallel_solves)
+    _run_warm_phase(engine)
+    try:
+        return _run_measured_phase(engine, seed)
+    finally:
+        engine.close()
+
+
+def _forked_run(sharded=False, parallel_solves=False, seed=None):
+    engine = _make_engine(sharded, parallel_solves)
+    _run_warm_phase(engine)
+    blob = engine.snapshot()
+    engine.close()
+    restored = s4u.Engine.restore(blob)
+    try:
+        return _run_measured_phase(restored, seed)
+    finally:
+        restored.close()
+
+
+# ---------------------------------------------------------------------------
+# fork vs cold bit-identity
+# ---------------------------------------------------------------------------
+
+class TestForkEqualsCold:
+    def test_flat_kernel(self):
+        assert _forked_run() == _cold_run()
+
+    def test_flat_kernel_with_churn(self):
+        cold = _cold_run(seed=11)
+        fork = _forked_run(seed=11)
+        assert fork == cold
+        assert cold[2], "the churn seed must actually inject failures"
+
+    def test_sharded_kernel(self):
+        assert _forked_run(sharded=True) == _cold_run(sharded=True)
+
+    def test_sharded_kernel_with_churn(self):
+        assert _forked_run(sharded=True, seed=3) == _cold_run(
+            sharded=True, seed=3)
+
+    def test_parallel_solves_engine(self):
+        assert (_forked_run(sharded=True, parallel_solves=True)
+                == _cold_run(sharded=True, parallel_solves=True))
+
+    def test_snapshot_is_non_destructive(self):
+        """The snapshotted engine keeps running identically afterwards."""
+        engine = _make_engine()
+        _run_warm_phase(engine)
+        engine.snapshot()
+        try:
+            assert _run_measured_phase(engine, seed=5) == _cold_run(seed=5)
+        finally:
+            engine.close()
+
+    def test_pending_injector_pulses_travel(self):
+        """An injector armed before the snapshot churns the restored run."""
+        def churned(snapshot_between):
+            engine = _make_engine()
+            _, leaves = _worker_hosts(engine)
+            _run_warm_phase(engine)
+            injector = FailureInjector(engine, seed=23, hosts=leaves,
+                                       mtbf=0.01, mean_downtime=0.02,
+                                       max_failures=5).start()
+            if snapshot_between:
+                blob = engine.snapshot()
+                engine.close()
+                engine = s4u.Engine.restore(blob)
+            final, log, _ = _run_measured_phase(engine)
+            engine.close()
+            return final, log
+
+        cold = churned(snapshot_between=False)
+        fork = churned(snapshot_between=True)
+        assert fork == cold
+
+
+# ---------------------------------------------------------------------------
+# quiescence + blob validation
+# ---------------------------------------------------------------------------
+
+class TestSnapshotGuards:
+    def test_snapshot_requires_quiescence(self):
+        engine = _make_engine()
+
+        def forever(actor):
+            while True:
+                yield actor.sleep_for(1.0)
+
+        engine.add_actor("spinner", "center", forever)
+        engine.run(until=0.5)
+        with pytest.raises(SnapshotError, match="spinner"):
+            engine.snapshot()
+        engine.close()
+
+    def test_restore_rejects_foreign_blob(self):
+        with pytest.raises(SnapshotError, match="does not hold"):
+            s4u.Engine.restore(pickle.dumps({"not": "an engine"}))
+
+    def test_snapshot_compacts_dead_timers(self):
+        """Cancelled timers (e.g. the timeout of a wait that completed
+        first) may hold unpicklable closures; lazy deletion only drops
+        them from the heap *top*, so the snapshot path compacts first."""
+        engine = _make_engine()
+        engine.timers.schedule(1.0, _noop_timer)
+        frame = (x for x in range(3))  # generators never pickle
+        doomed = engine.timers.schedule(2.0, lambda: next(frame))
+        doomed.cancel()  # dead, but buried below the pending timer
+        assert len(engine.timers._heap) == 2
+        blob = engine.snapshot()  # would raise without compaction
+        assert len(engine.timers._heap) == 1
+        restored = s4u.Engine.restore(blob)
+        assert len(restored.timers) == 1
+        engine.close()
+        restored.close()
+
+
+def _noop_timer():
+    pass
+
+
+class TestTimerQueueCompact:
+    def test_compact_drops_only_dead_entries(self):
+        queue = TimerQueue()
+        fired = []
+        keep = [queue.schedule(float(i), lambda i=i: fired.append(i))
+                for i in range(5)]
+        dead = [queue.schedule(float(i) + 0.5, lambda: fired.append(-1))
+                for i in range(5)]
+        for timer in dead:
+            timer.cancel()
+        assert queue.compact() == 5
+        assert len(queue) == 5
+        queue.fire_until(10.0)
+        assert fired == [0, 1, 2, 3, 4]
+        assert all(t.fired for t in keep)
+
+    def test_compact_preserves_tie_break_order(self):
+        queue = TimerQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append("a"))
+        doomed = queue.schedule(1.0, lambda: fired.append("x"))
+        queue.schedule(1.0, lambda: fired.append("b"))
+        doomed.cancel()
+        queue.compact()
+        queue.fire_until(2.0)
+        assert fired == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# SURF layer: mid-run deepcopy / pickle
+# ---------------------------------------------------------------------------
+
+def _surf_with_actions():
+    surf = SurfEngine()
+    cpu = surf.add_cpu("host", speed=1e9)
+    fast = surf.add_link("fast", bandwidth=1e8, latency=1e-4)
+    slow = surf.add_link("slow", bandwidth=1e6, latency=1e-3)
+    surf.execute(cpu, 3e9)
+    surf.execute(cpu, 1e9)
+    surf.communicate([fast, slow], 5e6)
+    surf.communicate([fast], 2e7)
+    return surf
+
+
+def _drain(surf):
+    """Step to idle; returns the (time, #completed, #failed) trajectory."""
+    trajectory = []
+    while True:
+        result = surf.step()
+        if result is None:
+            break
+        trajectory.append((result.time, len(result.completed),
+                           len(result.failed)))
+    return trajectory
+
+
+class TestSurfMidRunCopies:
+    def test_deepcopy_mid_run_continues_identically(self):
+        surf = _surf_with_actions()
+        surf.step()  # advance partially: actions now in flight
+        clone = copy.deepcopy(surf)
+        assert _drain(clone) == _drain(surf)
+        assert clone.clock == surf.clock
+
+    def test_pickle_mid_run_continues_identically(self):
+        surf = _surf_with_actions()
+        surf.step()
+        clone = pickle.loads(pickle.dumps(surf))
+        assert _drain(clone) == _drain(surf)
+
+    def test_deepcopy_does_not_alias_state(self):
+        surf = _surf_with_actions()
+        clone = copy.deepcopy(surf)
+        _drain(clone)
+        # The original still sits at t=0 with everything to do.
+        assert surf.clock == 0.0
+        assert surf.has_running_actions()
+
+    def test_maxmin_system_pickle_roundtrip_solves_identically(self):
+        surf = _surf_with_actions()
+        system = surf.cpu_model.system
+        system.solve()
+        restored = pickle.loads(pickle.dumps(system))
+        assert ({v.id: v.value for v in restored.variables}
+                == {v.id: v.value for v in system.variables})
+
+
+# ---------------------------------------------------------------------------
+# executor detach/reattach + shm hygiene
+# ---------------------------------------------------------------------------
+
+def _shm_segments():
+    try:
+        return {name for name in os.listdir("/dev/shm")
+                if name.startswith("repro_lmm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class TestExecutorSnapshot:
+    def test_pickle_detaches_pool_and_keeps_counters(self):
+        executor = ParallelSolveExecutor(workers=2, min_components=1,
+                                         min_work=1)
+        executor.batches = 7
+        executor.components_parallel = 21
+        restored = pickle.loads(pickle.dumps(executor))
+        assert restored.workers == 2
+        assert restored.batches == 7
+        assert restored.components_parallel == 21
+        assert not restored._started  # pool re-forks lazily on first batch
+        restored.close()
+        executor.close()
+
+    def test_no_shm_leak_across_snapshot_cycle(self):
+        before = _shm_segments()
+        engine = _make_engine(sharded=True)
+        engine.surf.enable_parallel_solves(workers=2, min_components=1,
+                                           min_work=1)
+        _run_warm_phase(engine)
+        blob = engine.snapshot()
+        restored = s4u.Engine.restore(blob)
+        _run_measured_phase(restored, seed=2)
+        restored.close()
+        engine.close()
+        assert _shm_segments() == before
+
+
+# ---------------------------------------------------------------------------
+# cross-process restore
+# ---------------------------------------------------------------------------
+
+def _child_replay(blob, seed, conn):
+    engine = s4u.Engine.restore(blob)
+    try:
+        conn.send(_run_measured_phase(engine, seed))
+    finally:
+        engine.close()
+        conn.close()
+
+
+class TestProcessRoundtrip:
+    def test_blob_restores_in_another_process(self):
+        engine = _make_engine()
+        _run_warm_phase(engine)
+        blob = engine.snapshot()
+        engine.close()
+
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_child_replay, args=(blob, 9, child_conn),
+                           daemon=True)
+        proc.start()
+        child_conn.close()
+        child_result = parent_conn.recv()
+        proc.join(timeout=30)
+        parent_conn.close()
+        assert child_result == _cold_run(seed=9)
