@@ -5,7 +5,7 @@ Unlike the pytest harnesses in this directory (which print paper-artefact
 tables and assert on simulated results), this runner is about the *perf
 trajectory* of the simulator itself across PRs.  It imports the scenario
 functions directly — no pytest, no plugins — times them, and writes a JSON
-report (``BENCH_PR8.json`` by default) with, per scenario and size:
+report (``BENCH_PR9.json`` by default) with, per scenario and size:
 
 * ``wall_clock_s`` — how long the simulation took for real;
 * ``events_per_s`` — simulated activity completions per wall-clock second,
@@ -129,6 +129,39 @@ def _failure_churn(size):
     }
 
 
+def _availability_churn(size):
+    from bench_availability import run_availability_churn
+    result = run_availability_churn(num_workers=size,
+                                    results_target=size * 15)
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "events": result["events"],
+        "speed_changes": result["speed_changes"],
+        "failures": result["failures"],
+        "restarts": result["restarts"],
+        "lmm": result["lmm"],
+    }
+
+
+def _replay_cluster(size):
+    from bench_availability import run_replay_cluster
+    result = run_replay_cluster(num_jobs=size, num_hosts=max(8, size // 8))
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "events": result["events"],
+        "completed": result["completed"],
+        "makespan": result["makespan"],
+        "speed_changes": result["speed_changes"],
+    }
+
+
+def _recovery_policies(size):
+    from bench_availability import run_recovery_policies
+    return run_recovery_policies(num_seeds=size)
+
+
 def _smpi_scale(size):
     from bench_s4u_scale import run_smpi_scale
     result = run_smpi_scale(num_ranks=size)
@@ -236,6 +269,15 @@ SCENARIOS = {
     "s4u_race": (_s4u_race, (500, 1000), (100,)),
     "s4u_churn": (_s4u_churn, (100, 250), (25,)),
     "failure_churn": (_failure_churn, (64, 256), (16,)),
+    # Availability modulation (PR 9): phase-shifted periodic load dips on
+    # every leaf + seeded churn — the trace heap, capacity write path and
+    # restart path all hot at once.
+    "availability_churn": (_availability_churn, (64, 256), (16,)),
+    # Cluster-log replay through the repro.replay frontend (PR 9).
+    "replay_cluster": (_replay_cluster, (128, 512), (32,)),
+    # Periodic vs event checkpointing over a campaign seed grid, forked
+    # from one warmed snapshot (PR 9 on top of the PR 8 runner).
+    "recovery_policies": (_recovery_policies, (8, 16), (3,)),
     "smpi_scale": (_smpi_scale, (16, 32, 64), (8,)),
     "maxmin_random_solve": (_maxmin_random_solve, (800, 3200, 12800), (200,)),
     # Parallel-vs-serial component solves (PR 7): same disjoint-component
@@ -278,6 +320,9 @@ SMOKE_BUDGETS_S = {
     "s4u_race": 10.0,
     "s4u_churn": 10.0,
     "failure_churn": 20.0,
+    "availability_churn": 20.0,
+    "replay_cluster": 20.0,
+    "recovery_policies": 30.0,
     "smpi_scale": 10.0,
     "maxmin_random_solve": 10.0,
     "maxmin_dense_bottleneck": 10.0,
@@ -334,7 +379,7 @@ def main(argv=None):
                         help="with --smoke: fail when a scenario exceeds its "
                              "per-scenario wall-clock budget, naming the "
                              "offender (CI regression attribution)")
-    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR8.json"),
+    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR9.json"),
                         help="path of the JSON report (default: %(default)s)")
     args = parser.parse_args(argv)
 

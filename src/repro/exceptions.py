@@ -23,6 +23,16 @@ class NoRouteError(PlatformError):
     """No route exists between two hosts of the platform."""
 
 
+class TraceError(PlatformError):
+    """A resource trace is invalid for its intended use.
+
+    Raised at *load* time (platform declaration or trace registration),
+    naming the offending trace, rather than mid-simulation when the bad
+    value would finally be applied — e.g. an availability trace whose
+    scaling factor falls outside ``[0, 1]``.
+    """
+
+
 class HostFailureError(SimGridError):
     """The host running an activity (or its peer) failed.
 

@@ -202,6 +202,10 @@ class Platform:
         self._check_not_realized()
         zone_obj = self._resolve_zone(zone)
         self._check_fresh_node_name(name)
+        if availability_trace is not None:
+            # Fail at declaration, naming the trace, not mid-step when the
+            # bad scaling factor would finally be applied.
+            availability_trace.validate_availability()
         spec = HostSpec(name, speed, cores, availability_trace, state_trace,
                         dict(properties or {}))
         spec.index = len(self.hosts)
@@ -229,6 +233,8 @@ class Platform:
         self._check_not_realized()
         if name in self.links:
             raise PlatformError(f"duplicate link name {name!r}")
+        if bandwidth_trace is not None:
+            bandwidth_trace.validate_availability()
         spec = LinkSpec(name, bandwidth, latency, shared,
                         bandwidth_trace, state_trace)
         spec.index = len(self.links)

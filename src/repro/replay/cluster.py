@@ -1,0 +1,273 @@
+"""Cluster-trace replay: drive an s4u fleet from job/availability logs.
+
+The paper validates SimGrid by replaying the shapes found in production
+cluster logs: jobs arriving over time on machines whose speed is modulated
+by external load and which occasionally fail outright.  This module is the
+corresponding frontend: a :class:`ClusterWorkload` captures those shapes
+(job arrivals + per-machine availability/state traces), and
+:class:`ClusterReplay` turns one into a running master/worker fleet —
+availability traces attached at platform declaration, failures driven
+either by the workload's state traces or by seeded
+:class:`~repro.s4u.failure.FailureInjector` churn layered on top.
+
+Everything is seeded, so a replay is a pure function of
+``(workload, churn options, kernel flavour)`` — the equivalence tests run
+the same workload on the flat, sharded and parallel-solve kernels and
+compare dates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.platform import Platform
+from repro.s4u import Engine, FailureInjector, this_actor
+from repro.exceptions import HostFailureError
+from repro.surf.trace import Trace
+
+__all__ = ["ClusterJob", "ClusterWorkload", "ClusterReplay",
+           "synthetic_workload"]
+
+
+@dataclass(frozen=True)
+class ClusterJob:
+    """One job of the replayed log: arrival date and work amount.
+
+    ``host`` pins the job to a node name; ``None`` lets the dispatcher
+    assign round-robin (deterministically, by job order).
+    """
+
+    submit: float
+    flops: float
+    host: Optional[str] = None
+    name: str = ""
+
+
+@dataclass
+class ClusterWorkload:
+    """The replayable shape of a cluster log.
+
+    ``availability`` and ``state`` map node names to the traces replayed
+    on them (external load and failures respectively); ``horizon`` is the
+    date the replay stops banking results — lost jobs (e.g. killed by a
+    failure with nobody to resubmit them) then show up as
+    ``jobs - completed`` instead of hanging the run forever.
+    """
+
+    num_hosts: int
+    jobs: List[ClusterJob]
+    availability: Dict[str, Trace] = field(default_factory=dict)
+    state: Dict[str, Trace] = field(default_factory=dict)
+    horizon: Optional[float] = None
+
+
+def synthetic_workload(seed: int, num_hosts: int = 8, num_jobs: int = 32,
+                       mean_interarrival: float = 0.5,
+                       mean_flops: float = 2e9,
+                       host_speed: float = 1e9,
+                       load_period: float = 4.0, dip: float = 0.5,
+                       failing_fraction: float = 0.25,
+                       node_prefix: str = "node") -> ClusterWorkload:
+    """A seeded workload with the statistical shape of a cluster log.
+
+    Job arrivals are Poisson (exponential inter-arrival times), sizes
+    uniform around ``mean_flops``; every node carries a periodic
+    availability trace whose dip lands at a seeded phase (so the dips are
+    de-synchronized like independent background load); a seeded fraction
+    of the nodes additionally gets one finite off/on failure pulse as a
+    state trace.  Same seed, same workload — the replay tests lean on it.
+    """
+    if num_hosts < 1:
+        raise ValueError("a workload needs at least one host")
+    rng = random.Random(seed)
+    jobs: List[ClusterJob] = []
+    clock = 0.0
+    for index in range(num_jobs):
+        clock += rng.expovariate(1.0 / mean_interarrival)
+        pinned = (f"{node_prefix}-{rng.randrange(num_hosts)}"
+                  if rng.random() < 0.5 else None)
+        jobs.append(ClusterJob(submit=clock,
+                               flops=rng.uniform(0.5, 1.5) * mean_flops,
+                               host=pinned, name=f"job-{index}"))
+    availability: Dict[str, Trace] = {}
+    state: Dict[str, Trace] = {}
+    for index in range(num_hosts):
+        node = f"{node_prefix}-{index}"
+        phase = rng.uniform(0.5, load_period - 1.5)
+        availability[node] = Trace(
+            [(0.0, 1.0), (phase, dip), (phase + 1.0, 1.0)],
+            period=load_period, name=f"{node}-load")
+        if rng.random() < failing_fraction:
+            down_at = rng.uniform(1.0, 0.5 * num_jobs * mean_interarrival)
+            downtime = rng.uniform(0.5, 2.0)
+            state[node] = Trace([(down_at, 0.0), (down_at + downtime, 1.0)],
+                                name=f"{node}-state")
+    last_submit = jobs[-1].submit if jobs else 0.0
+    # Generous tail: total work spread over the fleet at the dipped speed,
+    # tripled — enough for every non-lost job to land before the horizon.
+    work = sum(job.flops for job in jobs)
+    tail = 3.0 * work / (num_hosts * host_speed * dip) + 5.0
+    return ClusterWorkload(num_hosts=num_hosts, jobs=jobs,
+                           availability=availability, state=state,
+                           horizon=last_submit + tail)
+
+
+# -- actor bodies (module-level so snapshotted engines can name them) ----------
+
+def _dispatcher(actor, replay):
+    """Feed jobs to per-node mailboxes at their submit dates, then hold
+    the simulation open until the horizon (workers are daemons)."""
+    engine = actor.engine
+    for index, job in enumerate(replay.workload.jobs):
+        if job.submit > actor.now:
+            yield this_actor.sleep_for(job.submit - actor.now)
+        node = job.host or f"{replay.node_prefix}-{index % replay.workload.num_hosts}"
+        # Detached: a dispatch to a currently-dead node waits in the
+        # mailbox and is redelivered when its auto-restart worker reboots.
+        yield engine.mailbox(node).put_async(job, size=replay.dispatch_size,
+                                             detached=True)
+        replay.dispatched += 1
+    horizon = replay.horizon
+    if horizon > actor.now:
+        yield this_actor.sleep_for(horizon - actor.now)
+
+
+def _worker(actor, replay):
+    """One node: pull jobs from the node mailbox, compute, ack."""
+    engine = actor.engine
+    box = engine.mailbox(actor.host.name)
+    while True:
+        job = yield box.get()
+        try:
+            yield actor.execute(job.flops)
+        except HostFailureError:
+            # The exec died but the actor survived (link-level failure
+            # modes); a host failure kills the actor instead and the
+            # auto-restart reboot re-enters this loop with a fresh body.
+            replay.metrics["failed_execs"] += 1
+            continue
+        yield engine.mailbox("acks").put_async(
+            (actor.now, job), size=replay.ack_size, detached=True)
+
+
+def _collector(actor, replay):
+    """Bank acks on the frontend until the run ends."""
+    box = actor.engine.mailbox("acks")
+    while True:
+        done_at, job = yield box.get()
+        replay.completed.append((actor.now, job.name))
+
+
+class ClusterReplay:
+    """Replay a :class:`ClusterWorkload` on an s4u star fleet.
+
+    The platform is one ``frontend`` host with a star of worker nodes;
+    each node carries the workload's availability/state traces *attached
+    at declaration*, so the kernel drives them through the trace heap.
+    Optional seeded churn (``churn_seed``) layers a
+    :class:`FailureInjector` on top of the trace-driven failures.
+    """
+
+    def __init__(self, workload: ClusterWorkload,
+                 host_speed: float = 1e9,
+                 link_bandwidth: float = 1.25e7,
+                 link_latency: float = 1e-4,
+                 node_prefix: str = "node",
+                 dispatch_size: float = 1e4,
+                 ack_size: float = 1e4,
+                 churn_seed: Optional[int] = None,
+                 churn_mtbf: float = 2.0,
+                 churn_downtime: float = 0.5,
+                 churn_max_failures: int = 5) -> None:
+        self.workload = workload
+        self.host_speed = host_speed
+        self.link_bandwidth = link_bandwidth
+        self.link_latency = link_latency
+        self.node_prefix = node_prefix
+        self.dispatch_size = dispatch_size
+        self.ack_size = ack_size
+        self.churn_seed = churn_seed
+        self.churn_mtbf = churn_mtbf
+        self.churn_downtime = churn_downtime
+        self.churn_max_failures = churn_max_failures
+        self.horizon = (workload.horizon if workload.horizon is not None
+                        else (workload.jobs[-1].submit + 30.0
+                              if workload.jobs else 1.0))
+        self.completed: List[tuple] = []
+        self.dispatched = 0
+        self.metrics: Dict[str, float] = {}
+
+    # -- platform ------------------------------------------------------------------
+    def build_platform(self) -> Platform:
+        workload = self.workload
+        platform = Platform("cluster-replay")
+        platform.add_host("frontend", self.host_speed)
+        for index in range(workload.num_hosts):
+            node = f"{self.node_prefix}-{index}"
+            host = platform.add_host(
+                node, self.host_speed,
+                availability_trace=workload.availability.get(node),
+                state_trace=workload.state.get(node))
+            link = platform.add_link(f"{node}-link", self.link_bandwidth,
+                                     self.link_latency)
+            platform.connect(host.name, "frontend", link.name)
+        return platform
+
+    # -- execution -----------------------------------------------------------------
+    def run(self, sharded: bool = False,
+            parallel_solves: bool = False) -> Dict[str, float]:
+        """Replay the workload; returns the metrics dictionary."""
+        engine = Engine(self.build_platform(), sharded=sharded,
+                        parallel_solves=parallel_solves)
+        try:
+            return self._run(engine)
+        finally:
+            engine.close()
+
+    def _run(self, engine: Engine) -> Dict[str, float]:
+        workload = self.workload
+        self.completed = []
+        self.dispatched = 0
+        self.metrics = {"failed_execs": 0, "speed_changes": 0,
+                        "host_downs": 0, "host_ups": 0}
+
+        engine.on_resource_speed_change(self._count_speed_change)
+        engine.on_host_state_change(self._count_state_change)
+
+        engine.add_actor("dispatcher", "frontend", _dispatcher, self)
+        engine.add_actor("collector", "frontend", _collector, self,
+                         daemon=True)
+        for index in range(workload.num_hosts):
+            engine.add_actor(f"worker-{index}",
+                             f"{self.node_prefix}-{index}",
+                             _worker, self, daemon=True, auto_restart=True)
+        injector = None
+        if self.churn_seed is not None:
+            injector = FailureInjector(
+                engine, seed=self.churn_seed,
+                hosts=[f"{self.node_prefix}-{i}"
+                       for i in range(workload.num_hosts)],
+                mtbf=self.churn_mtbf, mean_downtime=self.churn_downtime,
+                max_failures=self.churn_max_failures).start()
+
+        final = engine.run()
+        metrics = dict(self.metrics)
+        metrics.update(
+            jobs=len(workload.jobs),
+            dispatched=self.dispatched,
+            completed=len(self.completed),
+            makespan=(max(date for date, _ in self.completed)
+                      if self.completed else 0.0),
+            injected_failures=injector.failures if injector else 0,
+            final_time=final,
+        )
+        return metrics
+
+    # -- observers -----------------------------------------------------------------
+    def _count_speed_change(self, resource, available_speed) -> None:
+        self.metrics["speed_changes"] += 1
+
+    def _count_state_change(self, host, is_on) -> None:
+        self.metrics["host_ups" if is_on else "host_downs"] += 1

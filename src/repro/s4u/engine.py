@@ -143,6 +143,7 @@ class Engine:
         # the actors awaiting an auto-restart of their failed host.
         self._host_state_listeners: List[Callable[[Host, bool], None]] = []
         self._link_state_listeners: List[Callable[[Link, bool], None]] = []
+        self._speed_listeners: List[Callable] = []
         self._pending_restarts: Dict[Host, List[Tuple]] = {}
         #: Number of actors rebooted by the auto-restart machinery.
         self.restart_count = 0
@@ -425,6 +426,37 @@ class Engine:
         self._link_state_listeners.append(callback)
         return callback
 
+    def on_resource_speed_change(self, callback) -> Callable:
+        """Register ``callback(resource, available_speed)`` for speed changes.
+
+        Mirrors the state-change observers: fired when the effective
+        speed of a host (flop/s of one core) or link (byte/s) changes —
+        whether from an availability/bandwidth trace event or from an
+        explicit :meth:`Host.set_speed` / :meth:`Link.set_bandwidth`
+        call — after the new capacity reached the solver.  ``resource``
+        is the s4u :class:`Host` or :class:`Link` facade.  Returns the
+        callback so it can be used as a decorator.
+        """
+        self._speed_listeners.append(callback)
+        return callback
+
+    def set_host_speed(self, host: Host, speed: float) -> None:
+        """Change a host's per-core speed at runtime (``Host.set_speed``).
+
+        The new capacity flows through the CPU model's
+        ``set_cpu_speed`` — constraint capacity plus the per-core bounds
+        of running multi-core executions, all via the sanctioned LMM
+        write paths — then the speed observers fire.
+        """
+        self.surf.model_of(host.cpu).set_cpu_speed(host.cpu, speed)
+        self._notify_speed_change(host, host.available_speed)
+
+    def set_link_bandwidth(self, link: Link, bandwidth: float) -> None:
+        """Change a link's nominal bandwidth (``Link.set_bandwidth``)."""
+        self.surf.model_of(link.resource).set_link_bandwidth(
+            link.resource, bandwidth)
+        self._notify_speed_change(link, link.current_bandwidth)
+
     def _notify_host_state(self, host: Host, is_on: bool) -> None:
         for callback in self._host_state_listeners:
             callback(host, is_on)
@@ -432,6 +464,10 @@ class Engine:
     def _notify_link_state(self, link: Link, is_on: bool) -> None:
         for callback in self._link_state_listeners:
             callback(link, is_on)
+
+    def _notify_speed_change(self, resource, available_speed: float) -> None:
+        for callback in self._speed_listeners:
+            callback(resource, available_speed)
 
     # ------------------------------------------------------------------------------
     # the main loop
@@ -497,6 +533,7 @@ class Engine:
                 break
             now = result.time
             self._handle_state_changes(result.state_changes)
+            self._handle_speed_changes(result.speed_changes)
             for action in result.failed:
                 activity = action.data
                 if isinstance(activity, Activity):
@@ -589,6 +626,20 @@ class Engine:
                 link = self._link_by_resource.get(id(resource))
                 if link is not None:
                     self._notify_link_state(link, is_on)
+
+    def _handle_speed_changes(self, speed_changes) -> None:
+        """Forward trace-driven availability changes to the speed observers."""
+        if not speed_changes or not self._speed_listeners:
+            return
+        for resource, _factor in speed_changes:
+            if isinstance(resource, CpuResource):
+                host = self._host_by_cpu.get(id(resource))
+                if host is not None:
+                    self._notify_speed_change(host, host.available_speed)
+            elif isinstance(resource, LinkResource):
+                link = self._link_by_resource.get(id(resource))
+                if link is not None:
+                    self._notify_speed_change(link, link.current_bandwidth)
 
     def _on_host_down(self, host: Host) -> None:
         # Fail every started communication touching this host.

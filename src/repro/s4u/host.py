@@ -81,6 +81,18 @@ class Host:
         """Bring a failed host back up (reboots its auto-restart actors)."""
         self._engine.restore_host(self)
 
+    def set_speed(self, speed: float) -> "Host":
+        """Change the per-core speed at runtime; running execs are re-shared.
+
+        The change reaches the solver exclusively through the CPU model's
+        capacity write path (constraint capacity + multi-core per-core
+        bounds), so only the LMM component containing this host is
+        re-solved; the engine's ``on_resource_speed_change`` observers
+        fire afterwards.  Availability traces keep scaling the new peak.
+        """
+        self._engine.set_host_speed(self, speed)
+        return self
+
     def compute_duration(self, flops: float) -> float:
         """Time to compute ``flops`` alone on this host at full availability."""
         return flops / self.speed if self.speed > 0 else float("inf")

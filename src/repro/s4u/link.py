@@ -73,9 +73,12 @@ class Link:
         self._engine.restore_link(self)
 
     def set_bandwidth(self, bandwidth: float) -> "Link":
-        """Change the link bandwidth; running flows are re-shared."""
-        self._engine.surf.network_model.set_link_bandwidth(
-            self.resource, bandwidth)
+        """Change the link bandwidth; running flows are re-shared.
+
+        The engine's ``on_resource_speed_change`` observers fire after
+        the new capacity reached the solver.
+        """
+        self._engine.set_link_bandwidth(self, bandwidth)
         return self
 
     def set_latency(self, latency: float) -> "Link":

@@ -59,14 +59,22 @@ class CpuResource(Resource):
 
 
 class CpuAction(Action):
-    """One computation: ``cost`` flops executed on one CPU."""
+    """One computation: ``cost`` flops executed on one CPU.
 
-    __slots__ = ("cpu",)
+    ``user_bound`` keeps the caller-requested rate cap separate from the
+    per-core cap the model merges into :attr:`bound`, so the merged bound
+    can be recomputed when the core speed changes at runtime
+    (availability event, ``set_cpu_speed``).
+    """
+
+    __slots__ = ("cpu", "user_bound")
 
     def __init__(self, model: "CpuModel", cpu: CpuResource, cost: float,
-                 priority: float = 1.0) -> None:
+                 priority: float = 1.0,
+                 user_bound: Optional[float] = None) -> None:
         super().__init__(model, cost, priority)
         self.cpu = cpu
+        self.user_bound = user_bound
 
 
 class CpuModel(FluidModel):
@@ -107,12 +115,8 @@ class CpuModel(FluidModel):
         The returned action progresses at the CPU share allocated by the
         MaxMin solver, at most one core's worth of speed.
         """
-        action = CpuAction(self, cpu, flops, priority)
-        core_cap = cpu.speed if cpu.cores > 1 else None
-        effective_bound = bound
-        if core_cap is not None:
-            effective_bound = (core_cap if bound is None
-                               else min(bound, core_cap))
+        action = CpuAction(self, cpu, flops, priority, user_bound=bound)
+        effective_bound = self._merged_bound(cpu, bound)
         action.bound = effective_bound
         var = self.system.new_variable(weight=action.effective_weight(),
                                        bound=effective_bound, data=action)
@@ -123,6 +127,56 @@ class CpuModel(FluidModel):
             # Executing on a dead host fails immediately at the next step.
             action.fail(action.start_time)
         return action
+
+    @staticmethod
+    def _merged_bound(cpu: CpuResource,
+                      user_bound: Optional[float]) -> Optional[float]:
+        """Caller cap merged with the current per-core cap.
+
+        On a single-core CPU the constraint capacity already enforces the
+        core speed, so only the caller's cap applies; a multi-core CPU
+        additionally caps each execution at one core's *current* speed
+        (peak scaled by availability).
+        """
+        if cpu.cores <= 1:
+            return user_bound
+        core_cap = cpu.core_speed
+        return core_cap if user_bound is None else min(user_bound, core_cap)
+
+    # -- dynamic reconfiguration ---------------------------------------------------
+    def set_cpu_speed(self, cpu: CpuResource, speed: float) -> None:
+        """Change a CPU's nominal per-core speed at runtime.
+
+        Mirrors :meth:`NetworkModel.set_link_bandwidth`: the new capacity
+        reaches the solver through ``set_peak_capacity`` →
+        ``update_constraint_capacity`` — the one write path the selective
+        solve tracks — so only the component containing this CPU is
+        re-solved, and the per-core bounds of its running multi-core
+        executions are resynced through ``on_action_priority_changed``.
+        """
+        if speed <= 0:
+            raise ValueError(f"cpu {cpu.name!r}: speed must be > 0")
+        cpu.speed = float(speed)
+        cpu.set_peak_capacity(cpu.speed * cpu.cores)
+        self.on_resource_capacity_changed(cpu)
+
+    def on_resource_capacity_changed(self, cpu: CpuResource) -> None:
+        """Resync per-core bounds after a capacity change (see FluidModel).
+
+        The constraint capacity itself was already updated by the caller
+        (`set_availability` / `set_cpu_speed`); what remains is the
+        per-action mirror of the core speed on multi-core CPUs.  Each
+        bound flows through ``action.model.on_action_priority_changed``
+        — the only action→LMM write path — so dirtiness tracking stays
+        intact even when the action lives in another shard's system.
+        """
+        if cpu.cores <= 1:
+            return
+        for action in self._actions_using(cpu):
+            if not isinstance(action, CpuAction) or not action.is_running():
+                continue
+            action.bound = self._merged_bound(cpu, action.user_bound)
+            action.model.on_action_priority_changed(action)
 
     def resource_of(self, name: str) -> CpuResource:
         """Lookup a CPU by name (raises ``KeyError`` if unknown)."""

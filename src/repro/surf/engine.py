@@ -54,20 +54,26 @@ class StepResult:
         List of ``(resource, is_on)`` pairs for resources whose on/off state
         changed during the step (used by the process layer to kill the
         processes of a failed host).
+    speed_changes:
+        List of ``(resource, availability)`` pairs for resources whose
+        availability factor changed during the step (trace-driven external
+        load; the process layer forwards them to its speed observers).
     """
 
     __slots__ = ("time", "completed", "failed", "reached_bound",
-                 "state_changes")
+                 "state_changes", "speed_changes")
 
     def __init__(self, time: float, completed: List[Action],
                  failed: List[Action], reached_bound: bool,
-                 state_changes: Optional[List[Tuple[Resource, bool]]] = None
+                 state_changes: Optional[List[Tuple[Resource, bool]]] = None,
+                 speed_changes: Optional[List[Tuple[Resource, float]]] = None
                  ) -> None:
         self.time = time
         self.completed = completed
         self.failed = failed
         self.reached_bound = reached_bound
         self.state_changes = state_changes or []
+        self.speed_changes = speed_changes or []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"StepResult(time={self.time}, completed={len(self.completed)},"
@@ -87,6 +93,10 @@ class SurfEngine:
         self._trace_heap: List[Tuple[float, int, Resource, TraceKind,
                                      float, TraceIterator]] = []
         self._seq = itertools.count()
+        # Resources whose traces are already scheduled, keyed by kind and
+        # name (stable across pickling, unlike id()): registering twice
+        # must not double-schedule every event.
+        self._trace_registered: set = set()
         self._zero_progress_steps = 0
         #: Actions completed/failed during the last :meth:`run_until_idle`.
         self.last_completed: List[Action] = []
@@ -201,9 +211,22 @@ class SurfEngine:
     def register_resource_traces(self, resource: Resource) -> None:
         """Schedule the availability and state trace events of a resource.
 
-        Must be called once per resource that carries traces; the platform
-        loader does it automatically.
+        The platform loader calls this automatically when it materializes
+        a trace-carrying resource; calling it again (loader + user code,
+        or a re-realize) is a no-op — each trace is scheduled exactly
+        once, otherwise every availability/state flip would fire twice.
+        Availability traces are validated here (values in ``[0, 1]``), so
+        a bad trace fails at registration with the trace name instead of
+        mid-step.
         """
+        key = (type(resource).__name__, resource.name)
+        if key in self._trace_registered:
+            return
+        if resource.availability_trace is not None:
+            # Validate before marking registered: a rejected trace must
+            # not poison the idempotency set and block a corrected retry.
+            resource.availability_trace.validate_availability()
+        self._trace_registered.add(key)
         if resource.availability_trace is not None:
             self._schedule_next(resource, TraceKind.AVAILABILITY,
                                 resource.availability_trace.iter_from(0.0))
@@ -283,9 +306,11 @@ class SurfEngine:
         completed = self._update_phase(new_time, delta)
 
         state_changes: List[Tuple[Resource, bool]] = []
+        speed_changes: List[Tuple[Resource, float]] = []
         failed: List[Action] = []
         if self._trace_heap:
-            failed.extend(self._fire_trace_events(new_time, state_changes))
+            failed.extend(self._fire_trace_events(new_time, state_changes,
+                                                  speed_changes))
 
         reached_bound = (delta_bound <= min_delta + _TIME_EPSILON
                          and delta_bound <= delta_trace + _TIME_EPSILON
@@ -306,7 +331,7 @@ class SurfEngine:
         else:
             self._zero_progress_steps = 0
         return StepResult(new_time, completed, failed, reached_bound,
-                          state_changes)
+                          state_changes, speed_changes)
 
     def _share_phase(self, now: float) -> float:
         """Solve every model's system; return the earliest event delay.
@@ -343,6 +368,8 @@ class SurfEngine:
 
     def _fire_trace_events(self, now: float,
                            state_changes: Optional[List[Tuple[Resource, bool]]]
+                           = None,
+                           speed_changes: Optional[List[Tuple[Resource, float]]]
                            = None) -> List[Action]:
         """Apply every trace event due at or before ``now``."""
         failed: List[Action] = []
@@ -350,7 +377,14 @@ class SurfEngine:
             date, _, resource, kind, value, iterator = heapq.heappop(
                 self._trace_heap)
             if kind is TraceKind.AVAILABILITY:
+                # The capacity flows through update_constraint_capacity
+                # (the only-write-path rule); the owning model then
+                # resyncs whatever per-action state mirrors the capacity
+                # (multi-core per-core bounds).
                 resource.set_availability(value)
+                self.model_of(resource).on_resource_capacity_changed(resource)
+                if speed_changes is not None:
+                    speed_changes.append((resource, value))
             else:
                 was_on = resource.is_on
                 resource.apply_state_value(value)

@@ -111,6 +111,16 @@ class FluidModel:
                                            action.effective_weight())
         self.system.update_variable_bound(action.variable, action.bound)
 
+    def on_resource_capacity_changed(self, resource) -> None:
+        """Model hook: a resource's effective capacity changed at runtime.
+
+        Called after an availability event (or an explicit speed change)
+        already pushed the new constraint capacity through
+        ``update_constraint_capacity``.  The base models need nothing
+        more; the CPU model overrides this to resync the per-core bounds
+        of multi-core executions.
+        """
+
     def on_action_finished(self, action: Action) -> None:
         """Model hook: drop the LMM variable of a terminated action."""
         if action.variable is not None:

@@ -90,8 +90,10 @@ class Resource:
     # -- trace / failure handling --------------------------------------------------
     def set_availability(self, factor: float) -> None:
         """Set the availability factor (usually from a trace event)."""
-        if factor < 0:
-            raise ValueError("availability factor must be >= 0")
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(
+                f"resource {self.name!r}: availability factor {factor} is "
+                f"outside [0, 1]")
         self.availability = float(factor)
         self._push_capacity()
 

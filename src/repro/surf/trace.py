@@ -110,6 +110,26 @@ class Trace:
         """A trace holding ``value`` forever."""
         return cls([(0.0, value)], name=name)
 
+    # -- validation --------------------------------------------------------------
+    def validate_availability(self) -> "Trace":
+        """Check every value is a valid availability factor in ``[0, 1]``.
+
+        A :class:`Trace` is kind-agnostic at construction (state traces
+        allow any value), so availability use is validated at the point a
+        trace is attached to a resource as an availability/bandwidth
+        trace.  Raises :class:`~repro.exceptions.TraceError` naming the
+        trace and the offending event, so a bad trace file fails at load
+        instead of mid-step deep inside the engine.  Returns the trace so
+        call sites can chain it.
+        """
+        from repro.exceptions import TraceError
+        for position, evt in enumerate(self.events):
+            if not (0.0 <= evt.value <= 1.0):
+                raise TraceError(
+                    f"availability trace {self.name!r}: value {evt.value} at "
+                    f"event #{position} (t={evt.time}) is outside [0, 1]")
+        return self
+
     # -- querying ---------------------------------------------------------------
     def value_at(self, time: float) -> Optional[float]:
         """Value in force at ``time`` (last event at or before ``time``).
@@ -158,6 +178,17 @@ class TraceIterator:
         self.trace = trace
         self._index = 0
         self._cycle_offset = 0.0
+        if (trace.period is not None and trace.events
+                and start > trace.period):
+            # Jump whole cycles arithmetically instead of replaying them
+            # event by event — `iter_from(1e6)` on a 10 s period must not
+            # spin 1e5 iterations per resource.  One full cycle of slack
+            # keeps the jump conservative against floating-point rounding
+            # of `start / period`; the loop below finishes the job and is
+            # now bounded by O(len(events)).
+            cycles = math.floor(start / trace.period) - 1.0
+            if cycles > 0:
+                self._cycle_offset = cycles * trace.period
         # Fast-forward past events strictly before `start`.
         while True:
             nxt = self._peek()
