@@ -5,7 +5,7 @@ Unlike the pytest harnesses in this directory (which print paper-artefact
 tables and assert on simulated results), this runner is about the *perf
 trajectory* of the simulator itself across PRs.  It imports the scenario
 functions directly — no pytest, no plugins — times them, and writes a JSON
-report (``BENCH_PR9.json`` by default) with, per scenario and size:
+report (``BENCH_PR10.json`` by default) with, per scenario and size:
 
 * ``wall_clock_s`` — how long the simulation took for real;
 * ``events_per_s`` — simulated activity completions per wall-clock second,
@@ -162,6 +162,26 @@ def _recovery_policies(size):
     return run_recovery_policies(num_seeds=size)
 
 
+def _ft_supervisor_churn(size):
+    from bench_ft import run_ft_supervisor_churn
+    failures = 120 if size > 128 else (100 if size >= 128 else 20)
+    result = run_ft_supervisor_churn(num_jobs=size,
+                                     num_hosts=8 if size <= 32 else 16,
+                                     max_failures=failures)
+    return {
+        "simulated_time_s": result["simulated_time_s"],
+        "peak_actors": result["peak_actors"],
+        "events": result["events"],
+        "completed": result["completed"],
+        "lost": result["lost"],
+        "duplicates": result["duplicates"],
+        "resubmitted": result["resubmitted"],
+        "failures": result["failures"],
+        "worker_restarts": result["worker_restarts"],
+        "makespan": result["makespan"],
+    }
+
+
 def _smpi_scale(size):
     from bench_s4u_scale import run_smpi_scale
     result = run_smpi_scale(num_ranks=size)
@@ -278,6 +298,10 @@ SCENARIOS = {
     # Periodic vs event checkpointing over a campaign seed grid, forked
     # from one warmed snapshot (PR 9 on top of the PR 8 runner).
     "recovery_policies": (_recovery_policies, (8, 16), (3,)),
+    # Fault-tolerance toolkit (PR 10): supervised at-least-once replay
+    # absorbing 100+ host failures at the full sizes with zero lost jobs
+    # — detector, resubmitter, supervisor and collector dedup all hot.
+    "ft_supervisor_churn": (_ft_supervisor_churn, (128, 256), (32,)),
     "smpi_scale": (_smpi_scale, (16, 32, 64), (8,)),
     "maxmin_random_solve": (_maxmin_random_solve, (800, 3200, 12800), (200,)),
     # Parallel-vs-serial component solves (PR 7): same disjoint-component
@@ -323,6 +347,7 @@ SMOKE_BUDGETS_S = {
     "availability_churn": 20.0,
     "replay_cluster": 20.0,
     "recovery_policies": 30.0,
+    "ft_supervisor_churn": 20.0,
     "smpi_scale": 10.0,
     "maxmin_random_solve": 10.0,
     "maxmin_dense_bottleneck": 10.0,
@@ -379,7 +404,7 @@ def main(argv=None):
                         help="with --smoke: fail when a scenario exceeds its "
                              "per-scenario wall-clock budget, naming the "
                              "offender (CI regression attribution)")
-    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR9.json"),
+    parser.add_argument("--output", default=os.path.join(ROOT, "BENCH_PR10.json"),
                         help="path of the JSON report (default: %(default)s)")
     args = parser.parse_args(argv)
 

@@ -50,6 +50,7 @@ from repro.campaign.runner import (
     CampaignResult,
     ExperimentSpec,
     default_campaign_workers,
+    default_run_timeout,
     grid,
     run_campaign,
     summarize,
@@ -60,6 +61,7 @@ __all__ = [
     "CampaignResult",
     "ExperimentSpec",
     "default_campaign_workers",
+    "default_run_timeout",
     "grid",
     "run_campaign",
     "summarize",

@@ -43,6 +43,7 @@ __all__ = [
     "CampaignResult",
     "ExperimentSpec",
     "default_campaign_workers",
+    "default_run_timeout",
     "grid",
     "run_campaign",
     "summarize",
@@ -217,22 +218,31 @@ def _worker_main(conn, run_fn, tasks: List[Tuple[int, ExperimentSpec]],
         conn.close()
 
 
-def _run_parallel(run_fn, specs: List[ExperimentSpec],
+def _run_parallel(run_fn, tasks: List[Tuple[int, ExperimentSpec]],
                   snapshot: Optional[bytes], workers: int,
                   results: List[Optional[Mapping[str, Any]]],
-                  errors: Dict[int, str]) -> int:
-    """Fan the grid over fork workers; returns the worker-death count.
+                  errors: Dict[int, str],
+                  run_timeout: Optional[float] = None
+                  ) -> Tuple[int, int, List[int]]:
+    """Fan ``tasks`` (global-index, spec pairs) over fork workers.
 
     Tasks are assigned round-robin *before* starting (static, so the
     assignment is deterministic); a worker that dies mid-share simply
-    leaves its unanswered tasks as ``None`` for the caller's serial
-    sweep.
+    leaves its unanswered tasks for the caller to recover.
+
+    ``run_timeout`` (wall-clock seconds) arms a per-run watchdog: workers
+    answer their share in task order, so when no reply arrives within the
+    timeout the share's first unanswered task is the hung one — the
+    worker is terminated and the share's remainder is left for recovery.
+
+    Returns ``(deaths, timeouts, lost)``: worker-death count, watchdog
+    firings, and the task indices left unanswered.
     """
     ctx = multiprocessing.get_context("fork")
     shares: List[List[Tuple[int, ExperimentSpec]]] = [
         [] for _ in range(workers)]
-    for index, spec in enumerate(specs):
-        shares[index % workers].append((index, spec))
+    for position, task in enumerate(tasks):
+        shares[position % workers].append(task)
     procs = []
     for share in shares:
         if not share:
@@ -245,10 +255,18 @@ def _run_parallel(run_fn, specs: List[ExperimentSpec],
         child_conn.close()
         procs.append((parent_conn, proc, share))
     deaths = 0
+    timeouts = 0
+    lost: List[int] = []
     for parent_conn, proc, share in procs:
         answered = 0
+        hung = False
         try:
             while answered < len(share):
+                if run_timeout is not None and not parent_conn.poll(
+                        run_timeout):
+                    hung = True
+                    timeouts += 1
+                    break
                 index, status, payload = parent_conn.recv()
                 answered += 1
                 if status == "ok":
@@ -256,20 +274,43 @@ def _run_parallel(run_fn, specs: List[ExperimentSpec],
                 else:
                     errors[index] = payload
         except (EOFError, OSError):
-            deaths += 1  # leftover tasks rerun serially in the parent
+            deaths += 1  # leftover tasks recovered by the caller
         finally:
             parent_conn.close()
+        if hung:
+            proc.terminate()
         proc.join(timeout=30.0)
         if proc.is_alive():  # pragma: no cover - defensive
             proc.terminate()
             proc.join()
-    return deaths
+        for index, _spec in share:
+            if results[index] is None and index not in errors:
+                lost.append(index)
+    return deaths, timeouts, lost
+
+
+def default_run_timeout() -> Optional[float]:
+    """Per-run watchdog from ``REPRO_CAMPAIGN_RUN_TIMEOUT`` (seconds).
+
+    Unset, empty, unparsable or non-positive all disable the watchdog —
+    it is strictly opt-in, since a legitimate long run is
+    indistinguishable from a hang without a budget from the caller.
+    """
+    raw = os.environ.get("REPRO_CAMPAIGN_RUN_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def run_campaign(run_fn: Callable[..., Mapping[str, Any]],
                  experiments: Iterable[Union[int, ExperimentSpec]], *,
                  workers: Optional[int] = None,
-                 snapshot: Optional[bytes] = None) -> "CampaignResult":
+                 snapshot: Optional[bytes] = None,
+                 run_timeout: Optional[float] = None) -> "CampaignResult":
     """Run every experiment, in-process or over forked workers.
 
     Parameters
@@ -291,6 +332,14 @@ def run_campaign(run_fn: Callable[..., Mapping[str, Any]],
     snapshot:
         Warmed-engine blob from :meth:`Engine.snapshot`; enables the
         fork-per-run mode described above.
+    run_timeout:
+        Per-run wall-clock watchdog in seconds (``None`` reads
+        ``REPRO_CAMPAIGN_RUN_TIMEOUT``; unset/non-positive disables it).
+        Only meaningful with ``workers >= 1``: a run that produces no
+        reply within the budget is declared hung, its worker is
+        terminated, and the run is retried once in a fresh single-task
+        worker (as are runs lost to a worker death).  A run hung or lost
+        twice fails the campaign — after the rest of the grid completed.
 
     Raises :class:`CampaignError` if any experiment raised (after all
     others finished), so a result always covers the full grid.
@@ -303,6 +352,8 @@ def run_campaign(run_fn: Callable[..., Mapping[str, Any]],
     if workers is None:
         workers = default_campaign_workers()
     workers = min(int(workers), len(specs))
+    if run_timeout is None:
+        run_timeout = default_run_timeout()
     try:
         multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX
@@ -311,11 +362,29 @@ def run_campaign(run_fn: Callable[..., Mapping[str, Any]],
     results: List[Optional[Mapping[str, Any]]] = [None] * len(specs)
     errors: Dict[int, str] = {}
     fallbacks = 0
+    timeouts = 0
+    retries = 0
     if workers >= 1:
-        fallbacks = _run_parallel(
-            run_fn, specs, snapshot, workers, results, errors)
+        fallbacks, timeouts, lost = _run_parallel(
+            run_fn, list(enumerate(specs)), snapshot, workers, results,
+            errors, run_timeout)
+        if lost and run_timeout is not None:
+            # One bounded retry, each lost run alone in a fresh worker
+            # (single-task shares), still under the watchdog.
+            retries = len(lost)
+            _, late_timeouts, still_lost = _run_parallel(
+                run_fn, [(index, specs[index]) for index in lost],
+                snapshot, len(lost), results, errors, run_timeout)
+            timeouts += late_timeouts
+            for index in still_lost:
+                errors[index] = (
+                    f"seed={specs[index].seed}: run lost twice — hung past "
+                    f"the {run_timeout}s watchdog or its worker died, on "
+                    f"both the original attempt and the retry")
     for index, spec in enumerate(specs):  # serial mode + death leftovers
         if results[index] is None and index not in errors:
+            if workers >= 1:
+                retries += 1
             try:
                 results[index] = dict(_execute_one(run_fn, spec, snapshot))
             except Exception:
@@ -330,7 +399,8 @@ def run_campaign(run_fn: Callable[..., Mapping[str, Any]],
         {"seed": spec.seed, "label": spec.label, "metrics": results[index]}
         for index, spec in enumerate(specs)]
     return CampaignResult(specs=specs, runs=runs, workers=workers,
-                          forked=snapshot is not None, fallbacks=fallbacks)
+                          forked=snapshot is not None, fallbacks=fallbacks,
+                          timeouts=timeouts, retries=retries)
 
 
 @dataclass
@@ -342,6 +412,10 @@ class CampaignResult:
     workers: int
     forked: bool
     fallbacks: int = 0
+    #: Watchdog firings (runs declared hung) and runs re-executed after
+    #: being lost to a hang or a worker death.
+    timeouts: int = 0
+    retries: int = 0
 
     def metrics(self) -> List[Mapping[str, Any]]:
         """The raw per-run metric dicts, in grid order."""
@@ -360,6 +434,8 @@ class CampaignResult:
             "workers": self.workers,
             "forked": self.forked,
             "fallbacks": self.fallbacks,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
             "metrics": self.summary(),
             "per_run": self.runs,
         }
@@ -373,4 +449,5 @@ class CampaignResult:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CampaignResult(runs={len(self.runs)}, workers={self.workers},"
-                f" forked={self.forked}, fallbacks={self.fallbacks})")
+                f" forked={self.forked}, fallbacks={self.fallbacks},"
+                f" timeouts={self.timeouts}, retries={self.retries})")

@@ -14,6 +14,25 @@ Everything is seeded, so a replay is a pure function of
 ``(workload, churn options, kernel flavour)`` — the equivalence tests run
 the same workload on the flat, sharded and parallel-solve kernels and
 compare dates.
+
+Two delivery semantics (PR 10):
+
+* ``at_most_once`` (default) — the original fire-and-forget pipeline: a
+  job consumed by a worker that dies mid-compute is simply lost and shows
+  up in ``metrics["lost"]``;
+* ``at_least_once`` — jobs carry sequence numbers, a
+  :class:`~repro.ft.heartbeat.HeartbeatMonitor` watches the nodes, and a
+  resubmitter actor re-sends the outstanding jobs of suspected nodes
+  (plus an ack-timeout sweep for blips too short for the detector).
+  Duplicate executions are deduplicated at the collector, so
+  ``metrics["lost"]`` is zero whenever every node is eventually up long
+  enough before the horizon — at the price of ``metrics["duplicates"]``
+  redundant executions.
+
+``supervised=True`` additionally replaces the workers' ``auto_restart``
+flag with a :class:`~repro.ft.supervisor.Supervisor` tree (one
+``permanent`` child per node), exercising the same host-down park/respawn
+path through the supervision machinery.
 """
 
 from __future__ import annotations
@@ -22,9 +41,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.ft import ChildSpec, HeartbeatMonitor, Supervisor
 from repro.platform import Platform
 from repro.s4u import Engine, FailureInjector, this_actor
-from repro.exceptions import HostFailureError
+from repro.exceptions import (
+    HostFailureError,
+    SimTimeoutError,
+    TransferFailureError,
+)
 from repro.surf.trace import Trace
 
 __all__ = ["ClusterJob", "ClusterWorkload", "ClusterReplay",
@@ -124,9 +148,17 @@ def _dispatcher(actor, replay):
         if job.submit > actor.now:
             yield this_actor.sleep_for(job.submit - actor.now)
         node = job.host or f"{replay.node_prefix}-{index % replay.workload.num_hosts}"
+        if replay.at_least_once:
+            # Record the outstanding entry before the send: the
+            # resubmitter must never observe an unacked job it cannot see.
+            replay.outstanding[index] = [node, job, actor.now]
+            payload = (index, job)
+        else:
+            payload = job
         # Detached: a dispatch to a currently-dead node waits in the
         # mailbox and is redelivered when its auto-restart worker reboots.
-        yield engine.mailbox(node).put_async(job, size=replay.dispatch_size,
+        yield engine.mailbox(node).put_async(payload,
+                                             size=replay.dispatch_size,
                                              detached=True)
         replay.dispatched += 1
     horizon = replay.horizon
@@ -139,7 +171,8 @@ def _worker(actor, replay):
     engine = actor.engine
     box = engine.mailbox(actor.host.name)
     while True:
-        job = yield box.get()
+        msg = yield box.get()
+        seq, job = msg if replay.at_least_once else (None, msg)
         try:
             yield actor.execute(job.flops)
         except HostFailureError:
@@ -148,16 +181,66 @@ def _worker(actor, replay):
             # auto-restart reboot re-enters this loop with a fresh body.
             replay.metrics["failed_execs"] += 1
             continue
+        ack = ((actor.now, seq, job) if replay.at_least_once
+               else (actor.now, job))
         yield engine.mailbox("acks").put_async(
-            (actor.now, job), size=replay.ack_size, detached=True)
+            ack, size=replay.ack_size, detached=True)
 
 
 def _collector(actor, replay):
-    """Bank acks on the frontend until the run ends."""
+    """Bank acks on the frontend until the run ends.
+
+    In at-least-once mode this is where duplicates die: the first ack of
+    a sequence number retires its outstanding entry, later ones only
+    bump the ``duplicates`` counter.
+    """
     box = actor.engine.mailbox("acks")
     while True:
-        done_at, job = yield box.get()
+        msg = yield box.get()
+        if replay.at_least_once:
+            done_at, seq, job = msg
+            if seq in replay.acked:
+                replay.metrics["duplicates"] += 1
+                continue
+            replay.acked.add(seq)
+            replay.outstanding.pop(seq, None)
+        else:
+            done_at, job = msg
         replay.completed.append((actor.now, job.name))
+
+
+def _resubmitter(actor, replay):
+    """At-least-once driver: re-send unacked jobs of suspected nodes.
+
+    Wakes on detector events (forwarded over the ``ft:notify`` mailbox)
+    and every ``detector_period`` otherwise.  A *suspect* event re-sends
+    everything outstanding on that node immediately; the periodic sweep
+    re-sends entries unacked for longer than ``ack_timeout`` — the safety
+    net for jobs lost to blips too short for the detector (e.g. a message
+    that died in flight while its node stayed up).
+    """
+    engine = actor.engine
+    notify = engine.mailbox("ft:notify")
+    while True:
+        suspect = None
+        try:
+            kind, node, _date = yield notify.get(
+                timeout=replay.detector_period)
+            if kind == "suspect":
+                suspect = node
+        except (SimTimeoutError, TransferFailureError):
+            pass
+        now = actor.now
+        for seq, entry in sorted(replay.outstanding.items()):
+            node, job, sent = entry
+            if node != suspect and now - sent <= replay.ack_timeout:
+                continue
+            if seq not in replay.outstanding:  # acked while we resent
+                continue
+            entry[2] = actor.now
+            replay.metrics["resubmitted"] += 1
+            yield engine.mailbox(node).put_async(
+                (seq, job), size=replay.dispatch_size, detached=True)
 
 
 class ClusterReplay:
@@ -168,6 +251,13 @@ class ClusterReplay:
     at declaration*, so the kernel drives them through the trace heap.
     Optional seeded churn (``churn_seed``) layers a
     :class:`FailureInjector` on top of the trace-driven failures.
+
+    ``semantics`` selects the delivery mode (see the module docstring);
+    ``detector_period``/``detector_timeout`` parameterize the heartbeat
+    detector of the at-least-once pipeline and ``ack_timeout`` its
+    periodic resubmission sweep.  ``supervised`` swaps the workers'
+    ``auto_restart`` flag for a :class:`~repro.ft.supervisor.Supervisor`
+    tree.
     """
 
     def __init__(self, workload: ClusterWorkload,
@@ -180,7 +270,17 @@ class ClusterReplay:
                  churn_seed: Optional[int] = None,
                  churn_mtbf: float = 2.0,
                  churn_downtime: float = 0.5,
-                 churn_max_failures: int = 5) -> None:
+                 churn_max_failures: int = 5,
+                 semantics: str = "at_most_once",
+                 detector_period: float = 0.25,
+                 detector_timeout: Optional[float] = None,
+                 ack_timeout: float = 5.0,
+                 supervised: bool = False,
+                 supervisor_max_restarts: int = 1000,
+                 supervisor_window: float = 1.0) -> None:
+        if semantics not in ("at_most_once", "at_least_once"):
+            raise ValueError(f"unknown semantics {semantics!r}; pick "
+                             "'at_most_once' or 'at_least_once'")
         self.workload = workload
         self.host_speed = host_speed
         self.link_bandwidth = link_bandwidth
@@ -192,12 +292,26 @@ class ClusterReplay:
         self.churn_mtbf = churn_mtbf
         self.churn_downtime = churn_downtime
         self.churn_max_failures = churn_max_failures
+        self.semantics = semantics
+        self.at_least_once = semantics == "at_least_once"
+        self.detector_period = detector_period
+        self.detector_timeout = detector_timeout
+        self.ack_timeout = ack_timeout
+        self.supervised = supervised
+        self.supervisor_max_restarts = supervisor_max_restarts
+        self.supervisor_window = supervisor_window
         self.horizon = (workload.horizon if workload.horizon is not None
                         else (workload.jobs[-1].submit + 30.0
                               if workload.jobs else 1.0))
         self.completed: List[tuple] = []
         self.dispatched = 0
         self.metrics: Dict[str, float] = {}
+        #: At-least-once state: seq -> [node, job, last-sent date] for
+        #: unacked jobs; the set of seqs already acked (dedup).
+        self.outstanding: Dict[int, list] = {}
+        self.acked: set = set()
+        self.supervisor: Optional[Supervisor] = None
+        self.detector: Optional[HeartbeatMonitor] = None
 
     # -- platform ------------------------------------------------------------------
     def build_platform(self) -> Platform:
@@ -230,25 +344,51 @@ class ClusterReplay:
         workload = self.workload
         self.completed = []
         self.dispatched = 0
+        self.outstanding = {}
+        self.acked = set()
+        self.supervisor = None
+        self.detector = None
         self.metrics = {"failed_execs": 0, "speed_changes": 0,
-                        "host_downs": 0, "host_ups": 0}
+                        "host_downs": 0, "host_ups": 0,
+                        "duplicates": 0, "resubmitted": 0}
 
         engine.on_resource_speed_change(self._count_speed_change)
         engine.on_host_state_change(self._count_state_change)
 
+        nodes = [f"{self.node_prefix}-{i}"
+                 for i in range(workload.num_hosts)]
         engine.add_actor("dispatcher", "frontend", _dispatcher, self)
         engine.add_actor("collector", "frontend", _collector, self,
                          daemon=True)
-        for index in range(workload.num_hosts):
-            engine.add_actor(f"worker-{index}",
-                             f"{self.node_prefix}-{index}",
-                             _worker, self, daemon=True, auto_restart=True)
+        if self.supervised:
+            self.supervisor = Supervisor(
+                engine,
+                [ChildSpec(f"worker-{index}", node, _worker, self,
+                           restart="permanent", daemon=True)
+                 for index, node in enumerate(nodes)],
+                strategy="one_for_one",
+                max_restarts=self.supervisor_max_restarts,
+                window=self.supervisor_window,
+                name="worker-supervisor", host="frontend", daemon=True)
+            self.supervisor.start()
+        else:
+            for index, node in enumerate(nodes):
+                engine.add_actor(f"worker-{index}", node,
+                                 _worker, self, daemon=True,
+                                 auto_restart=True)
+        if self.at_least_once:
+            self.detector = HeartbeatMonitor(
+                engine, nodes, "frontend",
+                period=self.detector_period,
+                timeout=self.detector_timeout,
+                notify_mailbox="ft:notify", name="ft").start()
+            engine.add_actor("resubmitter", "frontend", _resubmitter,
+                             self, daemon=True)
         injector = None
         if self.churn_seed is not None:
             injector = FailureInjector(
                 engine, seed=self.churn_seed,
-                hosts=[f"{self.node_prefix}-{i}"
-                       for i in range(workload.num_hosts)],
+                hosts=nodes,
                 mtbf=self.churn_mtbf, mean_downtime=self.churn_downtime,
                 max_failures=self.churn_max_failures).start()
 
@@ -258,9 +398,14 @@ class ClusterReplay:
             jobs=len(workload.jobs),
             dispatched=self.dispatched,
             completed=len(self.completed),
+            lost=len(workload.jobs) - len(self.completed),
             makespan=(max(date for date, _ in self.completed)
                       if self.completed else 0.0),
             injected_failures=injector.failures if injector else 0,
+            worker_restarts=(self.supervisor.restarts if self.supervisor
+                             else engine.restart_count),
+            suspects=(len([e for e in self.detector.events
+                           if e[1] == "suspect"]) if self.detector else 0),
             final_time=final,
         )
         return metrics

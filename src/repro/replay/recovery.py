@@ -13,11 +13,15 @@ checkpoint cost in flops.  Two policies are compared:
   observers): near-zero overhead in calm runs, more work lost when a
   failure hits a worker that had not banked for a while.
 
-Workers are ``auto_restart`` actors under :class:`FailureInjector` churn;
-``on_exit`` accounting measures the wasted (unbanked) flops per kill.
-:func:`compare_recovery_policies` runs the two policies over a seed grid
-with :func:`~repro.campaign.run_campaign`, forking every run from one
-warmed engine snapshot.
+Workers are ``transient`` children of a
+:class:`~repro.ft.supervisor.Supervisor` tree (PR 10 — previously a
+hand-rolled keep-alive poller next to ``auto_restart`` flags): a worker
+killed by churn is respawned by the supervisor (parked while its host is
+down), a worker that finished its flops is done for good, and the tree's
+``deadline`` bounds the run.  ``on_exit`` accounting measures the wasted
+(unbanked) flops per kill.  :func:`compare_recovery_policies` runs the
+two policies over a seed grid with :func:`~repro.campaign.run_campaign`,
+forking every run from one warmed engine snapshot.
 """
 
 from __future__ import annotations
@@ -25,8 +29,9 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from repro.campaign import grid, run_campaign, summarize
+from repro.ft import ChildSpec, Supervisor
 from repro.platform import make_star
-from repro.s4u import Engine, FailureInjector, this_actor
+from repro.s4u import Engine, FailureInjector
 
 __all__ = ["RECOVERY_POLICIES", "DEFAULT_RECOVERY_CONFIG",
            "run_recovery_experiment", "compare_recovery_policies"]
@@ -43,7 +48,6 @@ DEFAULT_RECOVERY_CONFIG: Dict[str, Any] = {
     "mean_downtime": 0.3,
     "max_failures": 4,
     "deadline": 120.0,
-    "supervisor_tick": 0.25,
 }
 
 
@@ -93,20 +97,6 @@ def _recovery_worker(actor, state: Dict[str, Any]) -> Any:
     state["finish_dates"].append(actor.now)
 
 
-def _supervisor(actor, state: Dict[str, Any]) -> Any:
-    """Hold the simulation open until every worker finished (or deadline).
-
-    The workers are auto-restart daemons: after a failure kills one, the
-    fleet can be momentarily all-dead, which would end an actor-driven
-    run before the restarts fire.  The supervisor is the one non-daemon
-    actor, so the run ends exactly when the work (or the deadline) does.
-    """
-    cfg = state["config"]
-    while (state["metrics"]["completed"] < cfg["num_workers"]
-           and actor.now < cfg["deadline"]):
-        yield this_actor.sleep_for(cfg["supervisor_tick"])
-
-
 def run_recovery_experiment(seed: int,
                             config: Optional[Mapping[str, Any]] = None,
                             engine: Optional[Engine] = None
@@ -149,10 +139,20 @@ def _run_recovery(engine: Engine, seed: int,
     engine.on_host_state_change(observe)
 
     leaves = [f"leaf-{i}" for i in range(cfg["num_workers"])]
-    for index, host in enumerate(leaves):
-        engine.add_actor(f"rw-{index}", host, _recovery_worker, state,
-                         daemon=True, auto_restart=True)
-    engine.add_actor("supervisor", "center", _supervisor, state)
+    # Transient children: respawned after a churn kill (parked while the
+    # host is down), finished for good once the flops are banked.  The
+    # supervisor actor is the run's one non-daemon — the simulation ends
+    # exactly when the work (or the tree's deadline) does.  Host-driven
+    # deaths don't spend intensity tokens, so the bound only guards
+    # against a systematically crashing body.
+    supervisor = Supervisor(
+        engine,
+        [ChildSpec(f"rw-{index}", host, _recovery_worker, state,
+                   restart="transient", daemon=True)
+         for index, host in enumerate(leaves)],
+        strategy="one_for_one", max_restarts=8 * cfg["num_workers"],
+        window=cfg["deadline"], name="supervisor", host="center",
+        deadline=cfg["deadline"]).start()
     injector = FailureInjector(engine, seed=seed, hosts=leaves,
                                mtbf=cfg["mtbf"],
                                mean_downtime=cfg["mean_downtime"],
@@ -163,6 +163,7 @@ def _run_recovery(engine: Engine, seed: int,
         makespan=(max(state["finish_dates"])
                   if state["finish_dates"] else cfg["deadline"]),
         failures=injector.failures,
+        restarts=supervisor.restarts,
         final_time=final,
         policy=cfg["policy"],
     )

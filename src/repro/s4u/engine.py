@@ -147,6 +147,12 @@ class Engine:
         self._pending_restarts: Dict[Host, List[Tuple]] = {}
         #: Number of actors rebooted by the auto-restart machinery.
         self.restart_count = 0
+        # True while the run-loop reaps leftover actors (daemon kill at
+        # end of run, deadlock cleanup).  Lifecycle hooks that respawn
+        # actors — e.g. a repro.ft Supervisor restarting a killed child —
+        # must check it: a respawn during teardown would never be
+        # scheduled and would leave the engine non-quiescent.
+        self._tearing_down = False
         # Simcall dispatch by concrete type: the kernel handles one call
         # per actor resume, so this lookup sits on the hottest path.
         self._simcall_handlers = self._build_simcall_handlers()
@@ -511,6 +517,7 @@ class Engine:
         Returns the final simulated time.
         """
         limit = math.inf if until is None else float(until)
+        self._tearing_down = False
         managed_gc = self._enter_gc_policy()
         try:
             self._run_loop(limit, until)
@@ -551,6 +558,17 @@ class Engine:
     def deadlocked(self) -> bool:
         """True when the last run ended because of a deadlock."""
         return self._deadlocked
+
+    @property
+    def is_tearing_down(self) -> bool:
+        """True while the engine reaps leftover actors at end of run.
+
+        Actor ``on_exit`` hooks that normally respawn actors (supervision
+        trees, custom restart logic) must become no-ops when this is set:
+        the run is over, so a respawned actor would never be scheduled and
+        would leave the engine non-quiescent for snapshots or reuse.
+        """
+        return self._tearing_down
 
     # -- loop helpers -------------------------------------------------------------------
     def _enqueue(self, actor: Actor, value=None,
@@ -595,6 +613,7 @@ class Engine:
         return False
 
     def _kill_remaining_daemons(self) -> None:
+        self._tearing_down = True
         for actor in list(self._alive_actors):
             if actor.daemon:
                 self._kill_actor(actor)
@@ -604,6 +623,7 @@ class Engine:
         if not survivors:
             return
         self._deadlocked = True
+        self._tearing_down = True
         for actor in survivors:
             self._kill_actor(actor)
         if self.raise_on_deadlock:

@@ -172,6 +172,91 @@ class TestRunCampaign:
 
 
 # ---------------------------------------------------------------------------
+# per-run watchdog: hung runs time out, get retried, then fail loudly
+# ---------------------------------------------------------------------------
+
+class TestRunWatchdog:
+    def test_run_timeout_env_parsing(self, monkeypatch):
+        from repro.campaign import default_run_timeout
+        monkeypatch.delenv("REPRO_CAMPAIGN_RUN_TIMEOUT", raising=False)
+        assert default_run_timeout() is None        # strictly opt-in
+        monkeypatch.setenv("REPRO_CAMPAIGN_RUN_TIMEOUT", "2.5")
+        assert default_run_timeout() == 2.5
+        for off in ("", "0", "-1", "nonsense"):
+            monkeypatch.setenv("REPRO_CAMPAIGN_RUN_TIMEOUT", off)
+            assert default_run_timeout() is None
+
+    def test_hung_run_times_out_and_retries_elsewhere(self, tmp_path):
+        import time
+        parent_pid = os.getpid()
+        sentinel = tmp_path / "hung-once"
+
+        def sticky(seed, config):
+            if seed == 2 and os.getpid() != parent_pid \
+                    and not sentinel.exists():
+                sentinel.write_text("hanging")   # hang the first attempt only
+                time.sleep(60.0)
+            return {"value": seed * 2.0}
+
+        result = run_campaign(sticky, grid(range(4)), workers=2,
+                              run_timeout=1.0)
+        # The watchdog fired once, the run was retried in a fresh worker,
+        # and the grid still completed bit-identically.
+        assert result.timeouts == 1
+        assert result.retries == 1
+        assert result.fallbacks == 0
+        assert [r["metrics"]["value"] for r in result.runs] == [
+            0.0, 2.0, 4.0, 6.0]
+        report = result.to_report("watchdog")
+        assert report["timeouts"] == 1 and report["retries"] == 1
+
+    def test_worker_death_retried_in_fresh_worker(self, tmp_path):
+        parent_pid = os.getpid()
+        sentinel = tmp_path / "died-once"
+
+        def fragile(seed, config):
+            if seed == 2 and os.getpid() != parent_pid \
+                    and not sentinel.exists():
+                sentinel.write_text("dying")
+                os._exit(1)                      # kill the worker, no reply
+            return {"value": seed * 2.0}
+
+        # With a watchdog armed, a death-lost run is retried in a fresh
+        # worker process instead of degrading the share to serial.
+        result = run_campaign(fragile, grid(range(4)), workers=2,
+                              run_timeout=5.0)
+        assert result.fallbacks == 1
+        assert result.timeouts == 0
+        assert result.retries == 1
+        assert [r["metrics"]["value"] for r in result.runs] == [
+            0.0, 2.0, 4.0, 6.0]
+
+    def test_permanently_hung_run_fails_after_grid_completes(self, tmp_path):
+        import time
+        parent_pid = os.getpid()
+
+        def stuck(seed, config):
+            if seed == 1:
+                if os.getpid() == parent_pid:    # never hang the parent
+                    raise RuntimeError("ran in parent unexpectedly")
+                time.sleep(60.0)
+            (tmp_path / f"done-{seed}").write_text("ok")
+            return {"value": float(seed)}
+
+        with pytest.raises(CampaignError, match="run lost twice") as excinfo:
+            run_campaign(stuck, grid(range(4)), workers=2, run_timeout=0.75)
+        assert "seed=1" in str(excinfo.value)
+        # Both attempts hung past the watchdog, but the rest of the grid
+        # finished before the campaign failed.
+        for seed in (0, 2, 3):
+            assert (tmp_path / f"done-{seed}").exists()
+
+    def test_no_timeout_means_no_watchdog_fields_move(self):
+        result = run_campaign(_simulate, grid(range(3)), workers=2)
+        assert result.timeouts == 0 and result.retries == 0
+
+
+# ---------------------------------------------------------------------------
 # snapshot fanout
 # ---------------------------------------------------------------------------
 

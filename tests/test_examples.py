@@ -91,6 +91,28 @@ class TestFailureChurn:
         assert "all 400 results collected" in out
 
 
+class TestSupervisedPipeline:
+    def test_loss_free_pipeline_under_churn(self, capsys):
+        module = load_example("supervised_pipeline")
+        outcome = module.run(seed=42)
+        out = capsys.readouterr().out
+        # Loss-free despite real churn, with every ft primitive visible.
+        assert outcome["delivered"] == module.NUM_ITEMS == 40
+        assert outcome["failures"] == 5
+        assert outcome["worker_restarts"] >= 1
+        assert outcome["suspects"] >= 1
+        assert outcome["send_retries"] + outcome["resubmissions"] >= 1
+        assert "detector: suspect" in out and "detector: alive" in out
+        assert "pipeline done: 40/40 items" in out
+
+    def test_printed_output_replays_bit_identically(self, capsys):
+        module = load_example("supervised_pipeline")
+        outcome = module.run(seed=42)
+        first = capsys.readouterr().out
+        assert module.run(seed=42) == outcome
+        assert capsys.readouterr().out == first
+
+
 class TestAmokMonitoring:
     def test_two_sites_inferred(self, capsys):
         module = load_example("amok_monitoring")

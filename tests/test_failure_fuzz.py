@@ -216,6 +216,85 @@ def test_different_seeds_differ():
     assert pulses_a != pulses_b
 
 
+# ---------------------------------------------------------------------------
+# Heartbeat detector accuracy under seeded churn
+# ---------------------------------------------------------------------------
+
+HB_PERIOD = 0.25
+HB_TIMEOUT = 1.0          # 4x period: tolerates beats lost to recv aborts
+HB_HORIZON = 12.0
+# A suspicion is *justified* only within this long of a real down-event:
+# the last pre-failure beat lands at most one period before the outage,
+# staleness is declared strictly past ``timeout`` and the monitor scans on
+# the ``check_period`` (= period) grid, plus beat delivery latency.
+HB_ACCURACY_BOUND = HB_TIMEOUT + 2 * HB_PERIOD + 0.01
+
+
+def _hb_hold(actor, horizon):
+    yield actor.sleep_until(horizon)
+
+
+def _detector_run(seed):
+    """One seeded-churn run under a heartbeat monitor.
+
+    Returns ``(truth, flips, final)``: the ground-truth host state
+    transitions seen by ``on_host_state_change``, the detector's
+    suspect/alive flip log and the final date — all of which must replay
+    bit-identically for the same seed.
+    """
+    from repro.ft import HeartbeatMonitor
+
+    leaves = [f"leaf-{i}" for i in range(NUM_WORKERS)]
+    engine = s4u.Engine(make_star(num_hosts=NUM_WORKERS, host_speed=1e9,
+                                  link_bandwidth=1e7, link_latency=1e-4))
+    truth = []
+    engine.on_host_state_change(
+        lambda host, is_on: truth.append((engine.now, host.name, is_on)))
+    monitor = HeartbeatMonitor(engine, leaves, "center",
+                               period=HB_PERIOD, timeout=HB_TIMEOUT).start()
+    FailureInjector(engine, seed=seed, hosts=leaves,
+                    mtbf=1.5, mean_downtime=1.0, max_failures=6,
+                    until=HB_HORIZON - 2.0).start()
+    engine.add_actor("hold", "center", _hb_hold, HB_HORIZON)
+    final = engine.run()
+    return truth, list(monitor.events), final
+
+
+def _check_detector_accuracy(truth, flips):
+    """Every suspicion is anchored to a recent real down-event."""
+    downs = {}
+    for date, name, is_on in truth:
+        if not is_on:
+            downs.setdefault(name, []).append(date)
+    for date, kind, name in flips:
+        if kind != "suspect":
+            continue
+        past = [d for d in downs.get(name, []) if d <= date + 1e-9]
+        assert past, f"{name} suspected at {date} but never went down"
+        lag = date - max(past)
+        assert lag <= HB_ACCURACY_BOUND, \
+            f"{name} suspected {lag}s after its last down-event at {date}"
+
+
+@pytest.mark.parametrize("seed_base", [0, 50, 100])
+def test_detector_accuracy_under_churn(seed_base):
+    """150 seeded churn schedules: suspicion is accurate and replays.
+
+    The heartbeat detector never suspects a host more than
+    ``period + timeout`` (plus one scan tick of slack) after that host's
+    last ground-truth down-event, and the suspect/alive flip log replays
+    bit-identically per seed.
+    """
+    total_flips = 0
+    for seed in range(seed_base, seed_base + 50):
+        truth, flips, final = _detector_run(seed)
+        _check_detector_accuracy(truth, flips)
+        assert (truth, flips, final) == _detector_run(seed), \
+            f"seed {seed} did not replay identically"
+        total_flips += len(flips)
+    assert total_flips > 0      # the sweep actually exercised the detector
+
+
 def test_churn_fleet_survives_fifty_failures():
     """Acceptance: an auto-restart fleet absorbs >= 50 host failures."""
     from repro.exceptions import TransferFailureError

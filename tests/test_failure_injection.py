@@ -493,3 +493,119 @@ class TestFailureInjector:
         # Every injected failure got its restore (the run outlived them).
         assert injector.restores == 7
         assert all(engine.host(f"leaf-{i}").is_on for i in range(4))
+
+
+class TestTimeoutFailureRaces:
+    """Timeout timers racing failures/completions at the same date.
+
+    The loop's contract: SURF completions are processed before timers at
+    each date, and same-date timers fire in arm order with the loser's
+    entry cancelled by ``_clear_wait`` — so exactly one outcome reaches
+    the waiting actor, and no timer entry survives the run.
+    """
+
+    def test_timeout_vs_link_failure_same_date_one_outcome(self):
+        def run_once():
+            outcomes = []
+            engine = s4u.Engine(two_host_platform())
+
+            def sender(actor):
+                try:
+                    # 1e9 B over 1e7 B/s: nominally 100 s in flight.
+                    yield engine.mailbox("race").put("x", size=1e9)
+                except TransferFailureError:
+                    outcomes.append(("sender", "failed", actor.now))
+
+            def receiver(actor):
+                try:
+                    yield engine.mailbox("race").get(timeout=2.0)
+                except SimTimeoutError:
+                    outcomes.append(("receiver", "timeout", actor.now))
+                except TransferFailureError:
+                    outcomes.append(("receiver", "failed", actor.now))
+
+            def chaos(actor):
+                yield actor.sleep_until(2.0)   # same date as the timeout
+                engine.link_by_name("wire").turn_off()
+                engine.link_by_name("wire").turn_on()
+
+            engine.add_actor("sender", "alice", sender)
+            engine.add_actor("receiver", "bob", receiver)
+            engine.add_actor("chaos", "alice", chaos)
+            engine.run()
+            return outcomes, engine
+
+        outcomes, engine = run_once()
+        by_actor = {}
+        for who, what, date in outcomes:
+            assert date == pytest.approx(2.0)
+            by_actor.setdefault(who, []).append(what)
+        # Exactly one outcome delivered per actor, never two.
+        assert len(by_actor["receiver"]) == 1
+        assert len(by_actor["sender"]) == 1
+        # No pending timers survive; compacting leaks nothing afterwards.
+        assert len(engine.timers) == 0
+        engine.timers.compact()
+        assert len(engine.timers) == 0
+        # And the race resolves the same way every run.
+        assert run_once()[0] == outcomes
+
+    def test_completion_at_exact_timeout_date_wins(self):
+        outcome = {}
+        engine = s4u.Engine(two_host_platform())
+
+        def computer(actor):
+            activity = yield actor.exec_async(2e9)  # exactly 2 s at 1e9 f/s
+            yield activity.wait(timeout=2.0)        # timer lands at t=2.0
+            outcome["done"] = actor.now
+
+        engine.add_actor("computer", "alice", computer)
+        engine.run()
+        # Completions are processed before timers: the result, not the
+        # timeout, is delivered at t=2.0.
+        assert outcome["done"] == pytest.approx(2.0)
+        assert len(engine.timers) == 0
+
+    def test_wait_any_completion_at_exact_timeout_date_wins(self):
+        from repro.s4u import ActivitySet
+
+        outcome = {}
+        engine = s4u.Engine(two_host_platform())
+
+        def computer(actor):
+            # On separate hosts so neither exec shares a CPU: the fast
+            # one completes at exactly the wait_any timeout date.
+            fast = yield actor.exec_async(2e9)
+            slow = yield actor.exec_async(8e9, host=engine.host("bob"))
+            bag = ActivitySet([fast, slow])
+            done = yield bag.wait_any(timeout=2.0)
+            outcome["first"] = (actor.now, done is not None)
+            try:
+                yield bag.wait_any(timeout=0.5)
+            except SimTimeoutError:
+                outcome["second"] = actor.now
+
+        engine.add_actor("computer", "alice", computer)
+        engine.run()
+        assert outcome["first"] == (pytest.approx(2.0), True)
+        assert outcome["second"] == pytest.approx(2.5)
+
+    def test_host_death_cancels_armed_timeout(self):
+        engine = s4u.Engine(two_host_platform())
+
+        def receiver(actor):
+            yield engine.mailbox("never").get(timeout=5.0)
+
+        def chaos(actor):
+            yield actor.sleep_until(1.0)
+            engine.fail_host(engine.host("bob"))
+
+        engine.add_actor("receiver", "bob", receiver)
+        engine.add_actor("chaos", "alice", chaos)
+        final = engine.run()
+        # The killed receiver's 5 s timer must not hold the clock open...
+        assert final == pytest.approx(1.0)
+        assert len(engine.timers) == 0
+        # ...and its cancelled entry is compactable garbage, not state.
+        assert engine.timers.compact() >= 1
+        assert len(engine.timers) == 0

@@ -98,3 +98,84 @@ class TestClusterReplay:
         platform = ClusterReplay(workload).build_platform()
         spec = platform.hosts["node-1"]
         assert spec.availability_trace is workload.availability["node-1"]
+
+
+def _mid_exec_outage_workload(horizon=12.0):
+    """One node, one job started at t=0.5 and killed mid-exec by an
+    outage at t=1 — the canonical job-loss shape (the at-most-once twin
+    above pins ``completed == 0`` on it)."""
+    return ClusterWorkload(
+        num_hosts=1,
+        jobs=[ClusterJob(submit=0.5, flops=5e9, host="node-0")],
+        state={"node-0": Trace([(1.0, 0.0), (2.5, 1.0)], name="pulse")},
+        horizon=horizon)
+
+
+class TestAtLeastOnce:
+    def test_semantics_validated(self):
+        with pytest.raises(ValueError):
+            ClusterReplay(_mid_exec_outage_workload(),
+                          semantics="exactly_once")
+
+    def test_job_killed_mid_exec_is_resubmitted(self):
+        workload = _mid_exec_outage_workload()
+        # At-most-once loses the job...
+        amo = ClusterReplay(workload).run()
+        assert amo["completed"] == 0 and amo["lost"] == 1
+        # ...at-least-once detects the dead node and resubmits it.
+        alo = ClusterReplay(workload, semantics="at_least_once",
+                            detector_period=0.25, detector_timeout=0.75,
+                            ack_timeout=8.0).run()
+        assert alo["completed"] == 1 and alo["lost"] == 0
+        assert alo["resubmitted"] >= 1
+        assert alo["suspects"] == 1
+        assert alo["duplicates"] == 0
+        # Resubmitted after the reboot at 2.5, then 5 s of compute.
+        assert alo["makespan"] == pytest.approx(7.5, abs=0.1)
+
+    def test_duplicate_executions_are_deduplicated(self):
+        # The job is submitted *during* the outage: the original dispatch
+        # waits in the node mailbox, the resubmitter re-sends it while
+        # the node is suspected, and the rebooted worker executes both.
+        workload = ClusterWorkload(
+            num_hosts=1,
+            jobs=[ClusterJob(submit=1.5, flops=1e9, host="node-0")],
+            state={"node-0": Trace([(1.0, 0.0), (2.5, 1.0)], name="pulse")},
+            horizon=10.0)
+        metrics = ClusterReplay(workload, semantics="at_least_once",
+                                detector_period=0.25, detector_timeout=0.75,
+                                ack_timeout=8.0).run()
+        assert metrics["completed"] == 1 and metrics["lost"] == 0
+        assert metrics["duplicates"] >= 1
+        assert metrics["resubmitted"] >= 1
+
+    def test_at_least_once_deterministic_across_kernels(self):
+        workload = synthetic_workload(seed=23, num_hosts=4, num_jobs=8)
+        replays = [ClusterReplay(workload, churn_seed=7,
+                                 semantics="at_least_once", supervised=True)
+                   for _ in range(3)]
+        flat = replays[0].run(sharded=False)
+        again = replays[1].run(sharded=False)
+        shard = replays[2].run(sharded=True)
+        assert flat == again == shard
+
+    def test_supervised_churn_fleet_loses_nothing(self):
+        workload = synthetic_workload(seed=3, num_hosts=4, num_jobs=16)
+        metrics = ClusterReplay(workload, churn_seed=7,
+                                churn_max_failures=10,
+                                semantics="at_least_once",
+                                supervised=True).run()
+        assert metrics["injected_failures"] == 10
+        assert metrics["lost"] == 0
+        assert metrics["completed"] == 16
+        assert metrics["worker_restarts"] >= 1   # supervisor respawns
+
+    def test_at_most_once_pipeline_is_untouched_by_supervision(self):
+        # The supervised flag only swaps the restart machinery: a calm
+        # at-most-once run completes identically either way.
+        workload = synthetic_workload(seed=11, num_hosts=4, num_jobs=10,
+                                      failing_fraction=0.0)
+        plain = ClusterReplay(workload).run()
+        supervised = ClusterReplay(workload, supervised=True).run()
+        assert supervised["completed"] == plain["completed"] == 10
+        assert supervised["makespan"] == plain["makespan"]
